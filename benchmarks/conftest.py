@@ -1,0 +1,68 @@
+"""Session-scoped fixtures shared across benches.
+
+Trained predictors are the expensive artefacts; workloads whose worker
+populations coincide share them.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import (  # noqa: E402
+    assignment_prediction_config,
+    scaled,
+)
+from repro.pipeline import WorkloadSpec, make_workload1, make_workload2  # noqa: E402
+from repro.pipeline.training import train_predictor  # noqa: E402
+
+
+def _default_spec(**overrides) -> WorkloadSpec:
+    base = dict(
+        n_workers=scaled(12),
+        n_tasks=scaled(450),
+        n_train_days=5,
+        detour_km=4.0,
+        seed=1,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+@pytest.fixture(scope="session")
+def workload1():
+    return make_workload1(_default_spec())
+
+
+@pytest.fixture(scope="session")
+def workload2():
+    return make_workload2(_default_spec())
+
+
+@pytest.fixture(scope="session")
+def predictors_w1(workload1):
+    """Task-oriented and MSE predictors for workload 1's workers."""
+    wl, learning = workload1
+    oriented = train_predictor(
+        learning, wl.city, assignment_prediction_config("task_oriented"), wl.historical_tasks_xy
+    )
+    mse = train_predictor(
+        learning, wl.city, assignment_prediction_config("mse"), wl.historical_tasks_xy
+    )
+    return {"task_oriented": oriented, "mse": mse}
+
+
+@pytest.fixture(scope="session")
+def predictors_w2(workload2):
+    wl, learning = workload2
+    oriented = train_predictor(
+        learning, wl.city, assignment_prediction_config("task_oriented"), wl.historical_tasks_xy
+    )
+    mse = train_predictor(
+        learning, wl.city, assignment_prediction_config("mse"), wl.historical_tasks_xy
+    )
+    return {"task_oriented": oriented, "mse": mse}

@@ -1,0 +1,67 @@
+"""Quickstart: the full TAMP pipeline in ~40 lines of calls.
+
+Builds workload 1 (Porto-like workers + Didi-like tasks), trains the
+GTTAML mobility predictor with the task assignment-oriented loss, and
+compares PPI against the KM baseline and the UB/LB bounds on a
+simulated day.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.meta.maml import MAMLConfig
+from repro.pipeline import (
+    AssignmentConfig,
+    PredictionConfig,
+    WorkloadSpec,
+    evaluate_prediction,
+    make_workload1,
+    run_assignment,
+    train_predictor,
+)
+
+
+def main() -> None:
+    # 1. Data: a city, 10 workers with 4 days of history, 150 tasks.
+    spec = WorkloadSpec(n_workers=10, n_tasks=150, n_train_days=4, seed=7)
+    workload, learning_tasks = make_workload1(spec)
+    print(f"workload: {len(workload.workers)} workers, {len(workload.tasks)} tasks")
+
+    # 2. Offline stage: game-theoretic clustering + meta-training +
+    #    per-worker adaptation, with the task assignment-oriented loss.
+    config = PredictionConfig(
+        algorithm="gttaml",
+        loss="task_oriented",
+        maml=MAMLConfig(iterations=10, meta_batch=4, inner_steps=2),
+    )
+    predictor = train_predictor(
+        learning_tasks, workload.city, config, workload.historical_tasks_xy
+    )
+    report = evaluate_prediction(predictor, workload.workers)
+    print(
+        f"mobility prediction: RMSE={report.rmse_cells:.3f} cells, "
+        f"MAE={report.mae_cells:.3f} cells, MR={report.matching_rate:.3f}, "
+        f"TT={report.training_seconds:.1f}s"
+    )
+    tree = predictor.tree
+    print(f"learning task tree: {tree.n_nodes()} nodes, {len(tree.leaves())} leaf clusters")
+
+    # 3. Online stage: batch assignment over the test day.
+    assignment = AssignmentConfig()
+    print(f"\n{'algorithm':<10} {'completion':>10} {'rejection':>10} {'cost km':>8} {'time s':>7}")
+    for algorithm in ("ppi", "km", "ub", "lb"):
+        result = run_assignment(workload, algorithm, assignment, predictor=predictor)
+        m = result.metrics()
+        print(
+            f"{algorithm:<10} {m.completion_ratio:>10.3f} {m.rejection_ratio:>10.3f} "
+            f"{m.worker_cost_km:>8.3f} {m.running_seconds:>7.2f}"
+        )
+    print(
+        "\nExpected shape: UB is the oracle ceiling with zero rejections; "
+        "PPI leads the practical algorithms; LB (current location only) trails."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Baseline assignment algorithms: KM, UB, and LB (Section IV-A).
+
+* ``km_assign`` builds the bipartite graph the way PPI's third stage
+  does (plain predicted proximity under the Theorem 2 radius) and
+  solves one global KM matching.  With the MSE-trained predictor this
+  is the paper's ``KM-loss``; with the task-oriented loss it is ``KM``.
+* ``upper_bound_assign`` is the oracle: it checks constraints against
+  the worker's *real* future trajectory and weights edges by the
+  reciprocal of the real insertion detour, so its rejection rate is 0
+  by construction.
+* ``lower_bound_assign`` ignores mobility entirely and matches on the
+  worker's current location only.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.assignment.hungarian import maximum_weight_matching
+from repro.assignment.matching_rate import theorem2_bound
+from repro.assignment.plan import AssignmentPair, AssignmentPlan
+from repro.sc.entities import SpatialTask, WorkerSnapshot
+
+_EPS = 1e-6
+
+
+def _solve(edges: list[tuple[int, int, float]], stage: int = 0) -> AssignmentPlan:
+    plan = AssignmentPlan()
+    for t_id, w_id, weight in maximum_weight_matching(edges):
+        plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=stage))
+    return plan
+
+
+def km_assign(
+    tasks: Sequence[SpatialTask],
+    workers: Sequence[WorkerSnapshot],
+    current_time: float,
+) -> AssignmentPlan:
+    """One global KM matching on predicted proximity (stage-3 graph)."""
+    edges: list[tuple[int, int, float]] = []
+    for task in tasks:
+        tloc = np.array([task.location.x, task.location.y])
+        for worker in workers:
+            if len(worker.predicted_xy) == 0:
+                continue
+            bound = theorem2_bound(
+                worker.detour_budget_km, task.deadline, current_time, worker.speed_km_per_min
+            )
+            if bound <= 0:
+                continue
+            dis_min = float(np.sqrt(((worker.predicted_xy - tloc) ** 2).sum(axis=1)).min())
+            if dis_min <= bound:
+                edges.append((task.task_id, worker.worker_id, 1.0 / (dis_min + _EPS)))
+    return _solve(edges)
+
+
+def upper_bound_assign(
+    tasks: Sequence[SpatialTask],
+    oracle_workers: Sequence[WorkerSnapshot],
+    current_time: float,
+) -> AssignmentPlan:
+    """Oracle matching against the real future trajectory.
+
+    ``oracle_workers`` must carry the worker's *actual* future route in
+    ``predicted_xy``/``predicted_times`` (the platform constructs these
+    snapshots from ground truth when computing the bound).  An edge
+    exists when some real route point allows serving the task within
+    the detour budget and before the deadline; the weight is the
+    reciprocal of the real out-and-back detour, so UB maximises exactly
+    what the simulator later accepts.
+    """
+    edges: list[tuple[int, int, float]] = []
+    for task in tasks:
+        tloc = np.array([task.location.x, task.location.y])
+        for worker in oracle_workers:
+            route = worker.predicted_xy
+            times = worker.predicted_times
+            if len(route) == 0:
+                continue
+            dists = np.sqrt(((route - tloc) ** 2).sum(axis=1))
+            detours = 2.0 * dists
+            feasible = (detours <= worker.detour_budget_km) & (
+                times + dists / worker.speed_km_per_min <= task.deadline
+            )
+            if not feasible.any():
+                continue
+            best = float(detours[feasible].min())
+            edges.append((task.task_id, worker.worker_id, 1.0 / (best + _EPS)))
+    return _solve(edges)
+
+
+def lower_bound_assign(
+    tasks: Sequence[SpatialTask],
+    workers: Sequence[WorkerSnapshot],
+    current_time: float,
+) -> AssignmentPlan:
+    """Matching on current locations only (no mobility information)."""
+    edges: list[tuple[int, int, float]] = []
+    for task in tasks:
+        tloc = np.array([task.location.x, task.location.y])
+        for worker in workers:
+            bound = theorem2_bound(
+                worker.detour_budget_km, task.deadline, current_time, worker.speed_km_per_min
+            )
+            if bound <= 0:
+                continue
+            here = np.array([worker.current_location.x, worker.current_location.y])
+            dis = float(np.sqrt(((here - tloc) ** 2).sum()))
+            if dis <= bound:
+                edges.append((task.task_id, worker.worker_id, 1.0 / (dis + _EPS)))
+    return _solve(edges)

@@ -1,0 +1,154 @@
+"""Command-line interface: run TAMP experiments without writing code.
+
+Examples::
+
+    python -m repro.cli predict --algorithm gttaml --workload porto-didi
+    python -m repro.cli assign --algorithm ppi --n-tasks 300 --detour 6
+    python -m repro.cli compare --workload porto-didi
+
+The CLI drives the same pipeline as the benches, at whatever scale the
+flags request.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.meta.maml import MAMLConfig
+from repro.pipeline import (
+    ASSIGNMENT_ALGORITHMS,
+    AssignmentConfig,
+    PredictionConfig,
+    WorkloadSpec,
+    evaluate_prediction,
+    make_workload,
+    run_assignment,
+    train_predictor,
+)
+from repro.pipeline.workloads import WORKLOADS
+
+PREDICTION_ALGORITHMS = ("maml", "ctml", "gttaml", "gttaml_gt")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tamp",
+        description="TAMP reproduction: mobility prediction-aware task assignment.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", choices=sorted(WORKLOADS), default="porto-didi")
+        p.add_argument("--n-workers", type=int, default=12)
+        p.add_argument("--n-tasks", type=int, default=300)
+        p.add_argument("--n-train-days", type=int, default=5)
+        p.add_argument("--detour", type=float, default=4.0, help="worker detour budget (km)")
+        p.add_argument("--seed", type=int, default=1)
+
+    predict = sub.add_parser("predict", help="train a mobility predictor and report RMSE/MAE/MR/TT")
+    add_workload_flags(predict)
+    predict.add_argument("--algorithm", choices=PREDICTION_ALGORITHMS, default="gttaml")
+    predict.add_argument("--loss", choices=("mse", "task_oriented"), default="mse")
+    predict.add_argument("--iterations", type=int, default=15)
+
+    assign = sub.add_parser("assign", help="simulate one assignment algorithm over a day")
+    add_workload_flags(assign)
+    assign.add_argument("--algorithm", choices=ASSIGNMENT_ALGORITHMS, default="ppi")
+    assign.add_argument("--loss", choices=("mse", "task_oriented"), default="task_oriented")
+    assign.add_argument("--iterations", type=int, default=10)
+
+    compare = sub.add_parser("compare", help="run all assignment algorithms and print the comparison")
+    add_workload_flags(compare)
+    compare.add_argument("--iterations", type=int, default=10)
+
+    return parser
+
+
+def _spec(args: argparse.Namespace) -> WorkloadSpec:
+    return WorkloadSpec(
+        n_workers=args.n_workers,
+        n_tasks=args.n_tasks,
+        n_train_days=args.n_train_days,
+        detour_km=args.detour,
+        seed=args.seed,
+    )
+
+
+def _prediction_config(args: argparse.Namespace, loss: str, algorithm: str) -> PredictionConfig:
+    return PredictionConfig(
+        algorithm=algorithm,
+        loss=loss,
+        seed=args.seed,
+        maml=MAMLConfig(iterations=args.iterations, meta_batch=4, inner_steps=2),
+    )
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    workload, learning = make_workload(args.workload, _spec(args))
+    config = _prediction_config(args, args.loss, args.algorithm)
+    predictor = train_predictor(learning, workload.city, config, workload.historical_tasks_xy)
+    report = evaluate_prediction(predictor, workload.workers)
+    print(f"workload={args.workload} algorithm={args.algorithm} loss={args.loss}")
+    for key, value in report.as_row().items():
+        print(f"  {key:<5} {value:.4f}")
+    return 0
+
+
+def cmd_assign(args: argparse.Namespace) -> int:
+    workload, learning = make_workload(args.workload, _spec(args))
+    predictor = None
+    if args.algorithm not in ("ub", "lb"):
+        config = _prediction_config(args, args.loss, "gttaml")
+        predictor = train_predictor(learning, workload.city, config, workload.historical_tasks_xy)
+    result = run_assignment(workload, args.algorithm, AssignmentConfig(), predictor=predictor)
+    metrics = result.metrics()
+    print(f"workload={args.workload} algorithm={args.algorithm}")
+    for key, value in metrics.as_row().items():
+        print(f"  {key:<18} {value:.4f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload, learning = make_workload(args.workload, _spec(args))
+    oriented = train_predictor(
+        learning,
+        workload.city,
+        _prediction_config(args, "task_oriented", "gttaml"),
+        workload.historical_tasks_xy,
+    )
+    mse = train_predictor(
+        learning,
+        workload.city,
+        _prediction_config(args, "mse", "gttaml"),
+        workload.historical_tasks_xy,
+    )
+    predictor_for = {
+        "ppi": oriented, "km": oriented,
+        "ppi_loss": mse, "km_loss": mse, "ggpso": mse,
+        "ub": None, "lb": None,
+    }
+    print(f"{'algorithm':<10} {'completion':>10} {'rejection':>10} {'cost km':>8} {'time s':>7}")
+    for algorithm in ASSIGNMENT_ALGORITHMS:
+        result = run_assignment(
+            workload, algorithm, AssignmentConfig(), predictor=predictor_for[algorithm]
+        )
+        m = result.metrics()
+        print(
+            f"{algorithm:<10} {m.completion_ratio:>10.3f} {m.rejection_ratio:>10.3f} "
+            f"{m.worker_cost_km:>8.3f} {m.running_seconds:>7.2f}"
+        )
+    return 0
+
+
+COMMANDS = {"predict": cmd_predict, "assign": cmd_assign, "compare": cmd_compare}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

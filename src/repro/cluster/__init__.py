@@ -1,0 +1,32 @@
+"""Clustering substrate.
+
+GTMC (Algorithm 1) seeds each level with k-medoids, then refines via
+best-response dynamics on an exact potential game; the CTML baseline
+uses soft k-means; the GTTAML-GT ablation replaces the game with plain
+k-means.  All three plus the game engine live here.
+"""
+
+from repro.cluster.kmeans import KMeans, kmeans
+from repro.cluster.kmedoids import KMedoids, kmedoids
+from repro.cluster.soft_kmeans import SoftKMeans, soft_kmeans
+from repro.cluster.game import (
+    ClusteringGame,
+    BestResponseResult,
+    best_response_clustering,
+    cluster_quality,
+    scaled_cluster_quality,
+)
+
+__all__ = [
+    "KMeans",
+    "kmeans",
+    "KMedoids",
+    "kmedoids",
+    "SoftKMeans",
+    "soft_kmeans",
+    "ClusteringGame",
+    "BestResponseResult",
+    "best_response_clustering",
+    "cluster_quality",
+    "scaled_cluster_quality",
+]

@@ -1,0 +1,275 @@
+"""Clustering as an exact potential game (Section III-B, Theorem 1).
+
+Each learning task is a player; a strategy is the cluster slot the
+player joins.  The utility of joining cluster ``G`` is the marginal
+quality it contributes (Eq. 5):
+
+    u(i, G) = Q(G + {i}) - Q(G)
+
+with cluster quality ``Q`` the average pairwise similarity (Eq. 4),
+``gamma`` for singletons and 0 for empty clusters.  The total quality
+``F = sum_G Q(G)`` is an exact potential for this game (Appendix A-A),
+so round-robin best-response dynamics terminate in a Nash equilibrium.
+The engine exposes the potential trace so tests can assert the
+monotonicity the proof guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def cluster_quality(sim: np.ndarray, members: list[int], gamma: float) -> float:
+    """``Q(G)`` from Eq. 4 for a member index list."""
+    n = len(members)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return gamma
+    sub = sim[np.ix_(members, members)]
+    # Off-diagonal sum over ordered pairs / (n * (n - 1)).
+    total = float(sub.sum() - np.trace(sub))
+    return total / (n * (n - 1))
+
+
+def scaled_cluster_quality(sim: np.ndarray, members: list[int], gamma: float) -> float:
+    """Size-scaled quality ``|G| * Q(G)`` used inside the game.
+
+    Eq. 5's marginal utility of the *average* quality vanishes for any
+    cluster of size >= 3 (adding a typical member leaves the average
+    unchanged), so under the literal Eq. 5 every such cluster is
+    unstable against gamma-singletons and best response fragments the
+    population into pairs.  Scaling by ``|G|`` keeps the exact-potential
+    property (Appendix A-A's proof never uses the form of Q) and gives
+    the semantics the paper states for gamma: a member stays iff their
+    average similarity to the cluster exceeds gamma.
+    """
+    n = len(members)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return gamma
+    sub = sim[np.ix_(members, members)]
+    total = float(sub.sum() - np.trace(sub))
+    return total / (n - 1)
+
+
+@dataclass
+class BestResponseResult:
+    """Outcome of best-response dynamics.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` cluster slot per player; slots may be empty (unused).
+    potential_trace:
+        Value of the potential ``F = sum_G Q(G)`` after every accepted
+        move, starting with the initial assignment.  Non-decreasing by
+        Theorem 1.
+    n_moves:
+        Accepted strategy changes.
+    n_rounds:
+        Full player sweeps executed.
+    converged:
+        Whether a full sweep produced no move (Nash equilibrium).
+    """
+
+    labels: np.ndarray
+    potential_trace: list[float] = field(default_factory=list)
+    n_moves: int = 0
+    n_rounds: int = 0
+    converged: bool = False
+
+    def clusters(self) -> list[list[int]]:
+        """Non-empty clusters as sorted member index lists."""
+        out: dict[int, list[int]] = {}
+        for player, slot in enumerate(self.labels):
+            out.setdefault(int(slot), []).append(player)
+        return [sorted(v) for _, v in sorted(out.items())]
+
+
+class ClusteringGame:
+    """Incremental state for best-response dynamics on one similarity matrix.
+
+    Maintains, per cluster slot, its member set and the sum of pairwise
+    similarities so utilities are O(|G|) instead of O(|G|^2).
+    """
+
+    def __init__(self, sim: np.ndarray, n_slots: int, gamma: float) -> None:
+        sim = np.asarray(sim, dtype=float)
+        if sim.ndim != 2 or sim.shape[0] != sim.shape[1]:
+            raise ValueError(f"similarity matrix must be square, got {sim.shape}")
+        if not np.allclose(sim, sim.T, atol=1e-9):
+            raise ValueError("similarity matrix must be symmetric")
+        if not 0.0 < gamma < 1.0:
+            raise ValueError("gamma must lie in (0, 1)")
+        if n_slots <= 0:
+            raise ValueError("need at least one cluster slot")
+        self.sim = sim
+        self.n = len(sim)
+        self.n_slots = n_slots
+        self.gamma = gamma
+        self._members: list[set[int]] = [set() for _ in range(n_slots)]
+        self._pair_sum = np.zeros(n_slots)  # sum over unordered pairs, counted once
+        self._labels = np.full(self.n, -1, dtype=int)
+
+    # ------------------------------------------------------------------
+    # assignment bookkeeping
+    # ------------------------------------------------------------------
+    def assign(self, labels: np.ndarray) -> None:
+        """Set the initial assignment (e.g. from k-medoids)."""
+        labels = np.asarray(labels, dtype=int)
+        if labels.shape != (self.n,):
+            raise ValueError("labels must have one entry per player")
+        if labels.min() < 0 or labels.max() >= self.n_slots:
+            raise ValueError("labels reference unknown cluster slots")
+        self._members = [set() for _ in range(self.n_slots)]
+        self._pair_sum = np.zeros(self.n_slots)
+        self._labels = np.full(self.n, -1, dtype=int)
+        for player, slot in enumerate(labels):
+            self._add(player, int(slot))
+
+    def _link_sum(self, player: int, slot: int) -> float:
+        members = self._members[slot]
+        if not members:
+            return 0.0
+        idx = np.fromiter(members, dtype=int)
+        return float(self.sim[player, idx].sum())
+
+    def _add(self, player: int, slot: int) -> None:
+        self._pair_sum[slot] += self._link_sum(player, slot)
+        self._members[slot].add(player)
+        self._labels[player] = slot
+
+    def _remove(self, player: int) -> None:
+        slot = int(self._labels[player])
+        self._members[slot].discard(player)
+        self._pair_sum[slot] -= self._link_sum(player, slot)
+        self._labels[player] = -1
+
+    # ------------------------------------------------------------------
+    # game quantities
+    # ------------------------------------------------------------------
+    def slot_quality(self, slot: int) -> float:
+        """Average quality ``Q`` (Eq. 4) of a slot."""
+        n = len(self._members[slot])
+        if n == 0:
+            return 0.0
+        if n == 1:
+            return self.gamma
+        return 2.0 * self._pair_sum[slot] / (n * (n - 1))
+
+    def slot_quality_scaled(self, slot: int) -> float:
+        """Size-scaled quality ``|G| * Q(G)`` (see
+        :func:`scaled_cluster_quality` for why the game uses this)."""
+        n = len(self._members[slot])
+        if n == 0:
+            return 0.0
+        if n == 1:
+            return self.gamma
+        return 2.0 * self._pair_sum[slot] / (n - 1)
+
+    def joining_utility(self, player: int, slot: int) -> float:
+        """``u(player, slot)`` assuming the player is currently unassigned."""
+        before = self.slot_quality_scaled(slot)
+        n = len(self._members[slot])
+        link = self._link_sum(player, slot)
+        if n == 0:
+            after = self.gamma
+        else:
+            after = 2.0 * (self._pair_sum[slot] + link) / n
+        return after - before
+
+    def potential(self) -> float:
+        """The exact potential ``F = sum_G |G| * Q(G)``."""
+        return float(sum(self.slot_quality_scaled(s) for s in range(self.n_slots)))
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._labels.copy()
+
+    # ------------------------------------------------------------------
+    # dynamics
+    # ------------------------------------------------------------------
+    def best_response(self, player: int) -> tuple[int, float]:
+        """The slot maximising the player's utility, and that utility.
+
+        Evaluated with the player lifted out of their current cluster,
+        which matches Eq. 5 (the utility compares the joined cluster
+        with and without the player).
+        """
+        current = int(self._labels[player])
+        self._remove(player)
+        best_slot, best_utility = current, -np.inf
+        for slot in range(self.n_slots):
+            u = self.joining_utility(player, slot)
+            if u > best_utility + 1e-12:
+                best_slot, best_utility = slot, u
+        self._add(player, best_slot)
+        return best_slot, best_utility
+
+
+def best_response_clustering(
+    sim: np.ndarray,
+    init_labels: np.ndarray,
+    gamma: float,
+    n_slots: int | None = None,
+    max_rounds: int = 200,
+) -> BestResponseResult:
+    """Run round-robin best-response dynamics to a Nash equilibrium.
+
+    Parameters
+    ----------
+    sim:
+        ``(n, n)`` symmetric similarity matrix in ``[0, 1]``-ish range.
+    init_labels:
+        Starting assignment, typically from k-medoids (Algorithm 1,
+        line 5).
+    gamma:
+        Singleton-cluster utility (Eq. 4); effectively the minimum
+        quality a cluster must offer to retain members.
+    n_slots:
+        Number of strategy slots; defaults to ``max(init) + 1`` plus one
+        spare empty slot so any player can always secede into a
+        singleton.
+    max_rounds:
+        Defensive cap; Theorem 1 guarantees finite convergence, the cap
+        guards against floating-point livelock.
+    """
+    init_labels = np.asarray(init_labels, dtype=int)
+    n = len(init_labels)
+    if n == 0:
+        return BestResponseResult(labels=np.zeros(0, dtype=int), converged=True)
+    if n_slots is None:
+        # One spare slot per player keeps "form a singleton" in every
+        # player's strategy set at all times, making gamma a true quality
+        # floor; empty slots cost O(1) per utility evaluation.
+        n_slots = int(init_labels.max()) + 1 + n
+    game = ClusteringGame(sim, n_slots=n_slots, gamma=gamma)
+    game.assign(init_labels)
+
+    trace = [game.potential()]
+    n_moves = 0
+    converged = False
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        moved = False
+        for player in range(n):
+            old = int(game.labels[player])
+            new, _ = game.best_response(player)
+            if new != old:
+                moved = True
+                n_moves += 1
+                trace.append(game.potential())
+        if not moved:
+            converged = True
+            break
+    return BestResponseResult(
+        labels=game.labels,
+        potential_trace=trace,
+        n_moves=n_moves,
+        n_rounds=rounds,
+        converged=converged,
+    )

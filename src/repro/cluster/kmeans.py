@@ -1,0 +1,95 @@
+"""Lloyd's k-means with k-means++ seeding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class KMeans:
+    """Result of a k-means run.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` cluster centres.
+    labels:
+        ``(n,)`` index of each point's cluster.
+    inertia:
+        Sum of squared distances to assigned centres.
+    n_iter:
+        Lloyd iterations until convergence (or the cap).
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+    history: list[float] = field(default_factory=list)
+
+
+def _kmeans_pp_seed(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centres by squared distance."""
+    n = len(x)
+    centers = np.empty((k, x.shape[1]))
+    centers[0] = x[rng.integers(n)]
+    closest_sq = ((x - centers[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            centers[j:] = x[rng.integers(n, size=k - j)]
+            break
+        probs = closest_sq / total
+        centers[j] = x[rng.choice(n, p=probs)]
+        closest_sq = np.minimum(closest_sq, ((x - centers[j]) ** 2).sum(axis=1))
+    return centers
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    rng: np.random.Generator | None = None,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+) -> KMeans:
+    """Cluster ``(n, d)`` points into ``k`` groups with Lloyd's algorithm.
+
+    ``k`` is clamped to ``n`` so degenerate inputs never fail; empty
+    clusters are re-seeded with the farthest point from its centre.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, d) data, got shape {x.shape}")
+    n = len(x)
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, n)
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    centers = _kmeans_pp_seed(x, k, rng)
+    labels = np.zeros(n, dtype=int)
+    history: list[float] = []
+    inertia = np.inf
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        d2 = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = d2.argmin(axis=1)
+        new_inertia = float(d2[np.arange(n), labels].sum())
+        history.append(new_inertia)
+        for j in range(k):
+            members = x[labels == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster with the worst-fit point.
+                worst = int(d2[np.arange(n), labels].argmax())
+                centers[j] = x[worst]
+        if abs(inertia - new_inertia) <= tol * max(abs(inertia), 1.0):
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return KMeans(centers=centers, labels=labels, inertia=inertia, n_iter=n_iter, history=history)

@@ -1,0 +1,85 @@
+"""Soft (fuzzy) k-means.
+
+The CTML baseline (Peng & Pan, 2023) clusters learning tasks by *soft*
+k-means over concatenated input-feature and learning-path embeddings;
+membership weights then blend cluster initialisations.  We reproduce
+the soft assignment with a temperature-controlled responsibility
+matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.kmeans import _kmeans_pp_seed
+
+
+@dataclass
+class SoftKMeans:
+    """Result of a soft k-means run.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` cluster centres.
+    responsibilities:
+        ``(n, k)`` soft membership weights (rows sum to 1).
+    labels:
+        Hard labels (argmax of responsibilities), for convenience.
+    n_iter:
+        EM sweeps performed.
+    """
+
+    centers: np.ndarray
+    responsibilities: np.ndarray
+    labels: np.ndarray
+    n_iter: int
+
+
+def soft_kmeans(
+    x: np.ndarray,
+    k: int,
+    beta: float = 5.0,
+    rng: np.random.Generator | None = None,
+    max_iter: int = 100,
+    tol: float = 1e-8,
+) -> SoftKMeans:
+    """Soft k-means with stiffness ``beta``.
+
+    Responsibilities are ``softmax(-beta * ||x - c||^2)`` over centres;
+    larger ``beta`` approaches hard k-means.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, d) data, got shape {x.shape}")
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    n = len(x)
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+    k = min(max(k, 1), n)
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    centers = _kmeans_pp_seed(x, k, rng)
+    resp = np.full((n, k), 1.0 / k)
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        d2 = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        logits = -beta * d2
+        logits -= logits.max(axis=1, keepdims=True)
+        new_resp = np.exp(logits)
+        new_resp /= new_resp.sum(axis=1, keepdims=True)
+        weights = new_resp.sum(axis=0)
+        new_centers = (new_resp.T @ x) / np.maximum(weights[:, None], 1e-12)
+        shift = float(np.abs(new_resp - resp).max())
+        centers, resp = new_centers, new_resp
+        if shift < tol:
+            break
+    return SoftKMeans(
+        centers=centers,
+        responsibilities=resp,
+        labels=resp.argmax(axis=1),
+        n_iter=n_iter,
+    )

@@ -1,0 +1,66 @@
+"""Synthetic dataset generators and windowing.
+
+The paper evaluates on Porto+Didi (workload 1) and Gowalla+Foursquare
+(workload 2); those corpora are unavailable offline, so seeded
+generators reproduce the *structural properties* the experiments
+depend on — heterogeneous per-worker mobility archetypes, rush-hour
+task arrivals, and (for workload 2) task/worker spatial distributions
+drawn from shared anchors.  See ``DESIGN.md`` §3 for the substitution
+table.
+"""
+
+from repro.data.generators import (
+    City,
+    make_city,
+    CommuterPattern,
+    RoamerPattern,
+    ZoneLoyalPattern,
+    CourierPattern,
+    MobilityPattern,
+)
+from repro.data.workload import Workload
+from repro.data.porto import PortoConfig, generate_porto_workers
+from repro.data.didi import DidiConfig, generate_didi_tasks
+from repro.data.gowalla import GowallaConfig, generate_gowalla_workers
+from repro.data.foursquare import FoursquareConfig, generate_foursquare_tasks
+from repro.data.loaders import (
+    load_porto_csv,
+    load_gowalla_checkins,
+    load_didi_orders,
+    Projection,
+    fit_grid,
+)
+from repro.data.windows import (
+    sliding_windows,
+    build_learning_task,
+    build_learning_tasks,
+    trajectory_to_normalized,
+)
+
+__all__ = [
+    "City",
+    "make_city",
+    "CommuterPattern",
+    "RoamerPattern",
+    "ZoneLoyalPattern",
+    "CourierPattern",
+    "MobilityPattern",
+    "Workload",
+    "PortoConfig",
+    "generate_porto_workers",
+    "DidiConfig",
+    "generate_didi_tasks",
+    "GowallaConfig",
+    "generate_gowalla_workers",
+    "FoursquareConfig",
+    "generate_foursquare_tasks",
+    "sliding_windows",
+    "build_learning_task",
+    "build_learning_tasks",
+    "trajectory_to_normalized",
+    "load_porto_csv",
+    "load_gowalla_checkins",
+    "load_didi_orders",
+    "Projection",
+    "fit_grid",
+]

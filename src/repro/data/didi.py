@@ -1,0 +1,110 @@
+"""Didi-like spatial task stream (workload 1's task side).
+
+The Didi ride-order corpus contributes the arrival pattern (rush-hour
+peaks) and spatially clumped pickup locations; following the paper,
+each order's pickup is a task's target location and the deadline is
+drawn from a valid-time interval measured in 10-minute time units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.generators import City
+from repro.geo.point import Point
+from repro.sc.entities import SpatialTask
+
+TIME_UNIT_MINUTES = 10.0
+
+
+@dataclass(frozen=True)
+class DidiConfig:
+    """Task generator knobs.
+
+    ``valid_time_units`` is the paper's ``[lo, hi]`` interval: deadlines
+    are ``arrival + U(lo, hi)`` time units of 10 minutes.
+    """
+
+    n_tasks: int = 150
+    day_minutes: float = 360.0
+    valid_time_units: tuple[float, float] = (3.0, 4.0)
+    seed: int = 1
+    peak_sharpness: float = 6.0
+    district_concentration: float = 0.5
+
+    def __post_init__(self) -> None:
+        lo, hi = self.valid_time_units
+        if lo <= 0 or hi < lo:
+            raise ValueError("valid-time interval must be positive and ordered")
+        if self.n_tasks < 1:
+            raise ValueError("need at least one task")
+        if not 0.0 <= self.district_concentration <= 1.0:
+            raise ValueError("district_concentration must lie in [0, 1]")
+
+
+def _rush_hour_intensity(t: float, day_minutes: float, sharpness: float) -> float:
+    """Bimodal arrival intensity: AM and PM peaks on a baseline."""
+    phase = t / day_minutes
+    am = math.exp(-((phase - 0.25) ** 2) * sharpness * 4)
+    pm = math.exp(-((phase - 0.75) ** 2) * sharpness * 4)
+    return 0.25 + am + pm
+
+
+def generate_didi_tasks(city: City, config: DidiConfig | None = None, id_offset: int = 0) -> list[SpatialTask]:
+    """Sample the test-day task stream.
+
+    Arrival times follow the bimodal intensity via rejection sampling;
+    locations mix district-anchored pickups (probability
+    ``district_concentration``) with uniform background demand.
+    """
+    cfg = config if config is not None else DidiConfig()
+    rng = np.random.default_rng(cfg.seed)
+    w, h = city.extent
+
+    arrivals: list[float] = []
+    max_intensity = _rush_hour_intensity(0.25 * cfg.day_minutes, cfg.day_minutes, cfg.peak_sharpness)
+    while len(arrivals) < cfg.n_tasks:
+        t = float(rng.uniform(0, cfg.day_minutes))
+        if rng.uniform(0, max_intensity) <= _rush_hour_intensity(t, cfg.day_minutes, cfg.peak_sharpness):
+            arrivals.append(t)
+    arrivals.sort()
+
+    lo, hi = cfg.valid_time_units
+    tasks: list[SpatialTask] = []
+    spread = min(w, h) * 0.08
+    for i, arrival in enumerate(arrivals):
+        if rng.uniform() < cfg.district_concentration:
+            center = city.district_centers[int(rng.integers(len(city.district_centers)))]
+            xy = rng.normal(center, spread)
+        else:
+            xy = rng.uniform([0, 0], [w, h])
+        loc = city.grid.clamp(Point(float(xy[0]), float(xy[1])))
+        valid = float(rng.uniform(lo, hi)) * TIME_UNIT_MINUTES
+        tasks.append(
+            SpatialTask(
+                task_id=id_offset + i,
+                location=loc,
+                release_time=arrival,
+                deadline=arrival + valid,
+            )
+        )
+    return tasks
+
+
+def historical_task_locations(
+    city: City,
+    n_tasks: int,
+    seed: int = 2,
+    district_concentration: float = 0.5,
+) -> np.ndarray:
+    """Training-period task corpus for the task-oriented loss (Eq. 7).
+
+    Same spatial process as the live stream — the loss's premise is
+    that historical and future task distributions agree.
+    """
+    cfg = DidiConfig(n_tasks=n_tasks, seed=seed, district_concentration=district_concentration)
+    tasks = generate_didi_tasks(city, cfg)
+    return np.array([[t.location.x, t.location.y] for t in tasks])

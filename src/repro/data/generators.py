@@ -1,0 +1,277 @@
+"""Synthetic city and mobility-pattern archetypes.
+
+The experiments need a worker population whose mobility is (a)
+*repeatable* day to day — otherwise nothing is predictable — and (b)
+*heterogeneous* across workers — otherwise clustering-based
+meta-learning cannot beat global MAML.  Three archetypes provide the
+heterogeneity:
+
+* :class:`CommuterPattern` — home/work anchors with morning and
+  evening transits;
+* :class:`RoamerPattern` — wandering around a preferred zone;
+* :class:`ZoneLoyalPattern` — taxi-like looping between POIs of one
+  district.
+
+Each worker owns one archetype instance with personal anchors; daily
+trajectories are the archetype's skeleton plus per-day Gaussian noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.grid import Grid
+from repro.geo.point import Point
+from repro.geo.poi import POI, POICategory
+from repro.geo.trajectory import Trajectory, TrajectoryPoint
+
+
+@dataclass
+class City:
+    """The simulated operating area: grid extent + POI layer + districts."""
+
+    grid: Grid
+    pois: list[POI]
+    district_centers: np.ndarray  # (n_districts, 2)
+
+    @property
+    def extent(self) -> tuple[float, float]:
+        return self.grid.width_km, self.grid.height_km
+
+
+def make_city(
+    seed: int = 0,
+    grid: Grid | None = None,
+    n_districts: int = 5,
+    pois_per_district: int = 20,
+) -> City:
+    """Generate a city: districts scattered over the grid, POIs around them."""
+    grid = grid if grid is not None else Grid()
+    if n_districts < 1 or pois_per_district < 1:
+        raise ValueError("need at least one district and one POI per district")
+    rng = np.random.default_rng(seed)
+    w, h = grid.width_km, grid.height_km
+    margin = 0.1
+    centers = rng.uniform([w * margin, h * margin], [w * (1 - margin), h * (1 - margin)], size=(n_districts, 2))
+    pois: list[POI] = []
+    categories = list(POICategory)
+    for center in centers:
+        spread = min(w, h) * 0.08
+        for _ in range(pois_per_district):
+            xy = rng.normal(center, spread)
+            p = grid.clamp(Point(float(xy[0]), float(xy[1])))
+            pois.append(POI(location=p, category=categories[int(rng.integers(len(categories)))]))
+    return City(grid=grid, pois=pois, district_centers=centers)
+
+
+class MobilityPattern:
+    """Base archetype: emits one noisy daily trajectory per call.
+
+    Subclasses implement :meth:`skeleton`, the ordered list of
+    ``(location, time)`` waypoints an ideal day follows; ``daily``
+    perturbs it and resamples at a uniform step.
+    """
+
+    def __init__(self, city: City, rng: np.random.Generator, noise_km: float = 0.25) -> None:
+        self.city = city
+        self.rng = rng
+        self.noise_km = noise_km
+
+    def skeleton(self) -> list[tuple[Point, float]]:
+        raise NotImplementedError
+
+    def daily(self, day_start: float, sample_step: float) -> Trajectory:
+        """One day's trajectory: noisy skeleton resampled every
+        ``sample_step`` minutes, timestamps offset by ``day_start``."""
+        waypoints = self.skeleton()
+        if len(waypoints) < 2:
+            raise ValueError("a skeleton needs at least two waypoints")
+        pts = []
+        for loc, t in waypoints:
+            jitter = self.rng.normal(0.0, self.noise_km, size=2)
+            p = self.city.grid.clamp(Point(loc.x + jitter[0], loc.y + jitter[1]))
+            pts.append(TrajectoryPoint(p, day_start + t))
+        # Guard against duplicate timestamps after noise-free skeletons.
+        dedup: list[TrajectoryPoint] = []
+        for p in pts:
+            if dedup and p.time <= dedup[-1].time:
+                continue
+            dedup.append(p)
+        return Trajectory(dedup).resampled(sample_step)
+
+
+class CommuterPattern(MobilityPattern):
+    """Home -> work -> (lunch) -> work -> home, with personal timing."""
+
+    def __init__(
+        self,
+        city: City,
+        rng: np.random.Generator,
+        noise_km: float = 0.25,
+        day_minutes: float = 720.0,
+    ) -> None:
+        super().__init__(city, rng, noise_km)
+        self.day_minutes = day_minutes
+        homes = city.district_centers[rng.integers(len(city.district_centers))]
+        works = city.district_centers[rng.integers(len(city.district_centers))]
+        spread = min(*city.extent) * 0.05
+        self.home = city.grid.clamp(Point(*(homes + rng.normal(0, spread, 2))))
+        self.work = city.grid.clamp(Point(*(works + rng.normal(0, spread, 2))))
+        self.leave_home = float(rng.uniform(0.05, 0.15)) * day_minutes
+        self.commute = float(rng.uniform(0.06, 0.12)) * day_minutes
+        self.leave_work = float(rng.uniform(0.70, 0.85)) * day_minutes
+
+    def skeleton(self) -> list[tuple[Point, float]]:
+        lunch_spot = Point(
+            (self.work.x + self.home.x * 0.1) / 1.1,
+            (self.work.y + self.home.y * 0.1) / 1.1,
+        )
+        mid = (self.leave_home + self.commute + self.leave_work) / 2.0
+        return [
+            (self.home, 0.0),
+            (self.home, self.leave_home),
+            (self.work, self.leave_home + self.commute),
+            (lunch_spot, mid),
+            (self.work, mid + 0.08 * self.day_minutes),
+            (self.work, self.leave_work),
+            (self.home, min(self.leave_work + self.commute, self.day_minutes)),
+        ]
+
+
+class RoamerPattern(MobilityPattern):
+    """Wanders between random waypoints near a preferred zone."""
+
+    def __init__(
+        self,
+        city: City,
+        rng: np.random.Generator,
+        noise_km: float = 0.25,
+        day_minutes: float = 720.0,
+        n_waypoints: int = 8,
+    ) -> None:
+        super().__init__(city, rng, noise_km)
+        self.day_minutes = day_minutes
+        center = city.district_centers[rng.integers(len(city.district_centers))]
+        spread = min(*city.extent) * 0.15
+        self.waypoints = [
+            city.grid.clamp(Point(*(center + rng.normal(0, spread, 2))))
+            for _ in range(max(n_waypoints, 2))
+        ]
+
+    def skeleton(self) -> list[tuple[Point, float]]:
+        order = self.rng.permutation(len(self.waypoints))
+        times = np.sort(self.rng.uniform(0, self.day_minutes, size=len(order)))
+        # Force the endpoints so every day spans the full window.
+        times[0], times[-1] = 0.0, self.day_minutes
+        return [(self.waypoints[int(i)], float(t)) for i, t in zip(order, times)]
+
+
+class ZoneLoyalPattern(MobilityPattern):
+    """Taxi-like loops among the POIs of one district."""
+
+    def __init__(
+        self,
+        city: City,
+        rng: np.random.Generator,
+        noise_km: float = 0.2,
+        day_minutes: float = 720.0,
+        n_stops: int = 10,
+    ) -> None:
+        super().__init__(city, rng, noise_km)
+        self.day_minutes = day_minutes
+        district = int(rng.integers(len(city.district_centers)))
+        center = city.district_centers[district]
+        dists = np.array([
+            (p.location.x - center[0]) ** 2 + (p.location.y - center[1]) ** 2 for p in city.pois
+        ])
+        nearest = np.argsort(dists)[: max(n_stops, 3)]
+        self.stops = [city.pois[int(i)].location for i in nearest]
+        self.tour = rng.permutation(len(self.stops))
+
+    def skeleton(self) -> list[tuple[Point, float]]:
+        # The same tour every day (loyal), with small per-day time drift.
+        n = len(self.tour)
+        base = np.linspace(0.0, self.day_minutes, n)
+        drift = self.rng.normal(0.0, self.day_minutes * 0.01, size=n)
+        times = np.sort(np.clip(base + drift, 0.0, self.day_minutes))
+        times[0], times[-1] = 0.0, self.day_minutes
+        out = []
+        last_t = -1.0
+        for i, t in zip(self.tour, times):
+            t = float(max(t, last_t + 1.0))
+            out.append((self.stops[int(i)], t))
+            last_t = t
+        return out
+
+
+class CourierPattern(MobilityPattern):
+    """Cross-city tours: the taxi-like archetype of the Porto corpus.
+
+    The worker traverses a fixed sequence of districts every day, so
+    their position sweeps the whole city — current location is a poor
+    predictor of where they will be in 10-30 minutes, while the learned
+    route is a good one.  This is the population slice for which
+    mobility prediction-aware assignment has the most to offer.
+    """
+
+    def __init__(
+        self,
+        city: City,
+        rng: np.random.Generator,
+        noise_km: float = 0.3,
+        day_minutes: float = 720.0,
+        n_legs: int = 6,
+    ) -> None:
+        super().__init__(city, rng, noise_km)
+        self.day_minutes = day_minutes
+        n_districts = len(city.district_centers)
+        legs = max(min(n_legs, n_districts * 2), 2)
+        picks = rng.integers(0, n_districts, size=legs)
+        spread = min(*city.extent) * 0.04
+        self.stops = [
+            city.grid.clamp(Point(*(city.district_centers[int(i)] + rng.normal(0, spread, 2))))
+            for i in picks
+        ]
+
+    def skeleton(self) -> list[tuple[Point, float]]:
+        n = len(self.stops)
+        base = np.linspace(0.0, self.day_minutes, n)
+        drift = self.rng.normal(0.0, self.day_minutes * 0.015, size=n)
+        times = np.sort(np.clip(base + drift, 0.0, self.day_minutes))
+        times[0], times[-1] = 0.0, self.day_minutes
+        out: list[tuple[Point, float]] = []
+        last_t = -1.0
+        for stop, t in zip(self.stops, times):
+            t = float(max(t, last_t + 1.0))
+            out.append((stop, t))
+            last_t = t
+        return out
+
+
+ARCHETYPES: dict[str, type[MobilityPattern]] = {
+    "commuter": CommuterPattern,
+    "roamer": RoamerPattern,
+    "zone_loyal": ZoneLoyalPattern,
+    "courier": CourierPattern,
+}
+
+
+@dataclass
+class PatternMix:
+    """Archetype mixture weights for a worker population."""
+
+    commuter: float = 0.25
+    roamer: float = 0.15
+    zone_loyal: float = 0.2
+    courier: float = 0.4
+
+    def sample(self, rng: np.random.Generator) -> str:
+        names = ["commuter", "roamer", "zone_loyal", "courier"]
+        weights = np.array(
+            [self.commuter, self.roamer, self.zone_loyal, self.courier], dtype=float
+        )
+        if weights.sum() <= 0:
+            raise ValueError("mixture weights must sum to a positive value")
+        return str(rng.choice(names, p=weights / weights.sum()))

@@ -1,0 +1,125 @@
+"""Sliding-window supervision and learning-task construction.
+
+Definition 3: the training set pairs each length-``seq_in`` sub
+trajectory with the length-``seq_out`` sub trajectory that follows it.
+Models train in unit-square normalised coordinates (``Grid.normalize``)
+so losses are scale-free; evaluation converts back to grid-cell units
+for the paper's RMSE/MAE magnitudes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.generators import City
+from repro.geo.poi import poi_feature_matrix, visited_pois
+from repro.geo.trajectory import Trajectory
+from repro.meta.learning_task import LearningTask, split_support_query
+
+
+def sliding_windows(
+    xy: np.ndarray,
+    seq_in: int,
+    seq_out: int,
+    stride: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All ``(seq_in, seq_out)`` windows of an ``(n, 2)`` point sequence.
+
+    Returns ``(x, y)`` with shapes ``(m, seq_in, 2)`` and
+    ``(m, seq_out, 2)``; ``m`` may be zero for short sequences.
+    """
+    if seq_in < 1 or seq_out < 1 or stride < 1:
+        raise ValueError("seq_in, seq_out, and stride must be positive")
+    pts = np.asarray(xy, dtype=float).reshape(-1, 2)
+    total = seq_in + seq_out
+    if len(pts) < total:
+        return np.zeros((0, seq_in, 2)), np.zeros((0, seq_out, 2))
+    xs, ys = [], []
+    for start in range(0, len(pts) - total + 1, stride):
+        xs.append(pts[start : start + seq_in])
+        ys.append(pts[start + seq_in : start + total])
+    return np.stack(xs), np.stack(ys)
+
+
+def trajectory_to_normalized(trajectory: Trajectory, city: City) -> np.ndarray:
+    """A trajectory's locations in unit-square model space."""
+    return city.grid.normalize(trajectory.xy)
+
+
+def windows_from_history(
+    history: Sequence[Trajectory],
+    city: City,
+    seq_in: int,
+    seq_out: int,
+    stride: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Windows pooled over several days, in normalised coordinates."""
+    xs, ys = [], []
+    for day in history:
+        x, y = sliding_windows(trajectory_to_normalized(day, city), seq_in, seq_out, stride)
+        if len(x):
+            xs.append(x)
+            ys.append(y)
+    if not xs:
+        return np.zeros((0, seq_in, 2)), np.zeros((0, seq_out, 2))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+def build_learning_task(
+    worker_id: int,
+    history: Sequence[Trajectory],
+    city: City,
+    seq_in: int,
+    seq_out: int,
+    rng: np.random.Generator,
+    query_fraction: float = 0.25,
+    poi_radius_km: float = 0.5,
+    max_location_sample: int = 200,
+) -> LearningTask | None:
+    """Build one worker's learning task from their training days.
+
+    Returns ``None`` when the history is too short to produce a single
+    window (the caller decides how to treat such workers — the paper's
+    newcomers fall in this bucket by construction).
+    """
+    x, y = windows_from_history(history, city, seq_in, seq_out)
+    if len(x) < 2:
+        return None
+    sx, sy, qx, qy = split_support_query(x, y, query_fraction=query_fraction, rng=rng)
+
+    all_xy = np.concatenate([day.xy for day in history])
+    if len(all_xy) > max_location_sample:
+        idx = rng.choice(len(all_xy), size=max_location_sample, replace=False)
+        sample = all_xy[idx]
+    else:
+        sample = all_xy
+    pois = visited_pois(city.pois, all_xy, radius_km=poi_radius_km)
+    return LearningTask(
+        worker_id=worker_id,
+        support_x=sx,
+        support_y=sy,
+        query_x=qx,
+        query_y=qy,
+        location_sample=np.asarray(sample, dtype=float),
+        poi_features=poi_feature_matrix(pois),
+    )
+
+
+def build_learning_tasks(
+    histories: dict[int, Sequence[Trajectory]],
+    city: City,
+    seq_in: int,
+    seq_out: int,
+    seed: int = 0,
+    **kwargs,
+) -> list[LearningTask]:
+    """Learning tasks for every worker with enough history."""
+    rng = np.random.default_rng(seed)
+    tasks: list[LearningTask] = []
+    for worker_id in sorted(histories):
+        task = build_learning_task(worker_id, histories[worker_id], city, seq_in, seq_out, rng, **kwargs)
+        if task is not None:
+            tasks.append(task)
+    return tasks

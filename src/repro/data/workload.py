@@ -1,0 +1,49 @@
+"""The workload container consumed by the pipeline and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.generators import City
+from repro.geo.trajectory import Trajectory
+from repro.sc.entities import SpatialTask, Worker
+
+
+@dataclass
+class Workload:
+    """One experiment's data bundle.
+
+    Attributes
+    ----------
+    name:
+        ``"porto-didi"`` or ``"gowalla-foursquare"``.
+    city:
+        Grid, POIs, districts.
+    workers:
+        Worker population; each worker's ``routine`` is the *test-day*
+        ground truth and ``history`` the training-day trajectories.
+    tasks:
+        Test-day spatial task stream.
+    historical_tasks_xy:
+        ``(n, 2)`` locations of training-period tasks — the corpus the
+        task assignment-oriented loss weights against (Eq. 7).
+    """
+
+    name: str
+    city: City
+    workers: list[Worker]
+    tasks: list[SpatialTask] = field(default_factory=list)
+    historical_tasks_xy: np.ndarray = field(default_factory=lambda: np.zeros((0, 2)))
+
+    def worker_histories(self) -> dict[int, list[Trajectory]]:
+        return {w.worker_id: list(w.history) for w in self.workers}
+
+    def horizon(self) -> tuple[float, float]:
+        """The simulation time span covering routines and tasks."""
+        start = min(w.routine.start_time for w in self.workers)
+        end = max(w.routine.end_time for w in self.workers)
+        if self.tasks:
+            end = max(end, max(t.deadline for t in self.tasks))
+        return start, end

@@ -1,0 +1,7 @@
+"""Evaluation helpers: regression metrics and paper-style report tables."""
+
+from repro.eval.metrics import rmse, mae, regression_summary
+from repro.eval.report import Table, format_table, format_series
+from repro.eval.summary import SimulationSummary, summarize
+
+__all__ = ["rmse", "mae", "regression_summary", "Table", "format_table", "format_series", "SimulationSummary", "summarize"]

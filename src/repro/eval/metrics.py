@@ -1,0 +1,39 @@
+"""Regression metrics over point sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared Euclidean point error.
+
+    Inputs are ``(..., 2)`` point arrays; the error of each point is
+    its Euclidean distance to the target point, matching how the paper
+    reports trajectory RMSE in grid-cell units.
+    """
+    p = np.asarray(pred, dtype=float)
+    t = np.asarray(target, dtype=float)
+    if p.shape != t.shape:
+        raise ValueError(f"shapes differ: {p.shape} vs {t.shape}")
+    if p.size == 0:
+        raise ValueError("empty inputs")
+    sq = ((p - t) ** 2).sum(axis=-1)
+    return float(np.sqrt(sq.mean()))
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean Euclidean point error."""
+    p = np.asarray(pred, dtype=float)
+    t = np.asarray(target, dtype=float)
+    if p.shape != t.shape:
+        raise ValueError(f"shapes differ: {p.shape} vs {t.shape}")
+    if p.size == 0:
+        raise ValueError("empty inputs")
+    dist = np.sqrt(((p - t) ** 2).sum(axis=-1))
+    return float(dist.mean())
+
+
+def regression_summary(pred: np.ndarray, target: np.ndarray) -> dict[str, float]:
+    """Both metrics in one pass-friendly dict."""
+    return {"rmse": rmse(pred, target), "mae": mae(pred, target)}

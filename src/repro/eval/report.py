@@ -1,0 +1,81 @@
+"""Paper-style plain-text tables and series for the benches.
+
+The benchmark harness regenerates every table and figure of Section IV
+as text: tables print rows exactly as the paper arranges them, figures
+print one series per algorithm over the swept parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table builder."""
+
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, values: Sequence[object], precision: int = 4) -> None:
+        self.rows.append([_fmt(v, precision) for v in values])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ValueError("row width does not match headers")
+            widths = [max(w, len(c)) for w, c in zip(widths, row)]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 4,
+) -> str:
+    """One-shot table rendering."""
+    table = Table(headers=list(headers), title=title)
+    for row in rows:
+        table.add_row(row, precision=precision)
+    return table.render()
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    precision: int = 4,
+) -> str:
+    """A figure as text: one row per algorithm, one column per x value.
+
+    This is the shape of the paper's figure panels (e.g. completion
+    rate vs. detour ``d`` for seven algorithms).
+    """
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series '{name}' length mismatch")
+        rows.append([name] + list(values))
+    return format_table(title, headers, rows, precision=precision)

@@ -1,0 +1,88 @@
+"""Rich simulation summaries beyond the four headline metrics.
+
+The paper reports completion/rejection/cost/time; operators of a real
+platform want distributional views — detour percentiles, per-batch
+supply/demand balance, expiry decomposition.  This module derives them
+from a :class:`~repro.sc.platform.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sc.platform import SimulationResult
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationSummary:
+    """Distributional view of one simulated day."""
+
+    n_tasks: int
+    completion_ratio: float
+    rejection_ratio: float
+    expiry_ratio: float
+    detour_p50_km: float
+    detour_p90_km: float
+    detour_max_km: float
+    mean_pending_per_batch: float
+    mean_available_per_batch: float
+    peak_pending: int
+    busiest_batch_time: float
+    n_batches: int
+
+    def lines(self) -> list[str]:
+        """Human-readable report lines."""
+        return [
+            f"tasks: {self.n_tasks} (completed {self.completion_ratio:.1%}, "
+            f"expired {self.expiry_ratio:.1%})",
+            f"rejection rate: {self.rejection_ratio:.1%}",
+            f"detour km: p50 {self.detour_p50_km:.2f}, p90 {self.detour_p90_km:.2f}, "
+            f"max {self.detour_max_km:.2f}",
+            f"batches: {self.n_batches}, mean pending {self.mean_pending_per_batch:.1f}, "
+            f"mean available workers {self.mean_available_per_batch:.1f}",
+            f"peak pending {self.peak_pending} at t={self.busiest_batch_time:.0f} min",
+        ]
+
+
+def summarize(result: SimulationResult) -> SimulationSummary:
+    """Build a :class:`SimulationSummary` from a simulation result."""
+    detours = np.asarray(result.detours_km, dtype=float)
+    if len(detours):
+        p50, p90, dmax = (
+            float(np.percentile(detours, 50)),
+            float(np.percentile(detours, 90)),
+            float(detours.max()),
+        )
+    else:
+        p50 = p90 = dmax = 0.0
+
+    if result.batches:
+        pendings = np.array([b.n_pending for b in result.batches])
+        availables = np.array([b.n_available for b in result.batches])
+        busiest = result.batches[int(pendings.argmax())]
+        mean_pending = float(pendings.mean())
+        mean_available = float(availables.mean())
+        peak = int(pendings.max())
+        busiest_t = busiest.batch_time
+    else:
+        mean_pending = mean_available = 0.0
+        peak = 0
+        busiest_t = 0.0
+
+    metrics = result.metrics()
+    return SimulationSummary(
+        n_tasks=result.n_tasks,
+        completion_ratio=metrics.completion_ratio,
+        rejection_ratio=metrics.rejection_ratio,
+        expiry_ratio=result.n_expired / result.n_tasks if result.n_tasks else 0.0,
+        detour_p50_km=p50,
+        detour_p90_km=p90,
+        detour_max_km=dmax,
+        mean_pending_per_batch=mean_pending,
+        mean_available_per_batch=mean_available,
+        peak_pending=peak,
+        busiest_batch_time=busiest_t,
+        n_batches=len(result.batches),
+    )

@@ -1,0 +1,48 @@
+"""Geometry substrate: points, grids, trajectories, detours, and POIs.
+
+Everything in the TAMP pipeline measures space in one of two frames:
+
+* a continuous planar frame (kilometres, used by workers, tasks and
+  detour computations), and
+* a discrete grid frame (the paper divides the city into ``100 x 50``
+  cells and trains prediction models on grid indices).
+
+:class:`~repro.geo.grid.Grid` converts between the two frames;
+:mod:`repro.geo.trajectory` and :mod:`repro.geo.detour` implement the
+movement model the platform and the workers share.
+"""
+
+from repro.geo.point import (
+    Point,
+    euclidean,
+    haversine,
+    pairwise_distances,
+    path_length,
+)
+from repro.geo.grid import Grid
+from repro.geo.trajectory import Trajectory, TrajectoryPoint
+from repro.geo.detour import (
+    detour_via_point,
+    min_detour,
+    min_distance_to_path,
+    earliest_arrival_time,
+)
+from repro.geo.poi import POI, POICategory, nearest_poi
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "haversine",
+    "pairwise_distances",
+    "path_length",
+    "Grid",
+    "Trajectory",
+    "TrajectoryPoint",
+    "detour_via_point",
+    "min_detour",
+    "min_distance_to_path",
+    "earliest_arrival_time",
+    "POI",
+    "POICategory",
+    "nearest_poi",
+]

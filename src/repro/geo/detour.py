@@ -1,0 +1,123 @@
+"""Detour and reachability computations.
+
+The acceptance model (Definition 2) says a worker accepts a task iff
+serving it adds at most ``w.d`` km of detour to their routine and the
+task location is reached before its deadline.  The detour of serving a
+task from segment ``(l_1, l_2)`` is the classic insertion cost
+
+    ``dis(l_1, tau.l) + dis(tau.l, l_2) - dis(l_1, l_2)``
+
+(Appendix A-B), minimised over the routine's segments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.geo.trajectory import Trajectory
+
+
+def detour_via_point(seg_a: Point, seg_b: Point, via: Point) -> float:
+    """Insertion cost of visiting ``via`` between ``seg_a`` and ``seg_b``.
+
+    Non-negative by the triangle inequality.
+    """
+    return seg_a.distance_to(via) + via.distance_to(seg_b) - seg_a.distance_to(seg_b)
+
+
+def min_detour(route_xy: np.ndarray, target: Point) -> tuple[float, int]:
+    """Minimum insertion detour of ``target`` over all route segments.
+
+    Parameters
+    ----------
+    route_xy:
+        ``(n, 2)`` array of route locations in visit order.
+    target:
+        Location to insert.
+
+    Returns
+    -------
+    ``(detour_km, segment_index)`` where ``segment_index`` is the index
+    of the segment start.  A single-point route degenerates to an
+    out-and-back trip (``2 * dis``).
+    """
+    route = np.asarray(route_xy, dtype=float).reshape(-1, 2)
+    if len(route) == 0:
+        raise ValueError("route must contain at least one point")
+    t = np.array([target.x, target.y])
+    d_to = np.sqrt(((route - t) ** 2).sum(axis=1))
+    if len(route) == 1:
+        return float(2.0 * d_to[0]), 0
+    seg = np.sqrt((np.diff(route, axis=0) ** 2).sum(axis=1))
+    # detour for inserting between points k and k+1
+    detours = d_to[:-1] + d_to[1:] - seg
+    k = int(np.argmin(detours))
+    return float(max(detours[k], 0.0)), k
+
+
+def min_distance_to_path(route_xy: np.ndarray, target: Point) -> float:
+    """Minimum point-to-sample distance from ``target`` to the route.
+
+    This is the quantity Algorithm 4 uses (``min_{l in w.r} dis``); the
+    paper works on sampled routine points rather than continuous
+    segments.
+    """
+    route = np.asarray(route_xy, dtype=float).reshape(-1, 2)
+    if len(route) == 0:
+        raise ValueError("route must contain at least one point")
+    t = np.array([target.x, target.y])
+    return float(np.sqrt(((route - t) ** 2).sum(axis=1)).min())
+
+
+def earliest_arrival_time(
+    trajectory: Trajectory,
+    target: Point,
+    speed_km_per_min: float,
+) -> float:
+    """Earliest time the worker can stand at ``target``.
+
+    The worker follows their routine and may branch off at any sampled
+    point; branching at the sample at time ``t`` puts them at ``target``
+    at ``t + dis / speed``.  Returns ``math.inf`` for a non-positive
+    speed.
+    """
+    if speed_km_per_min <= 0:
+        return math.inf
+    xy = trajectory.xy
+    t = np.array([target.x, target.y])
+    dists = np.sqrt(((xy - t) ** 2).sum(axis=1))
+    times = np.asarray(trajectory.times, dtype=float)
+    return float((times + dists / speed_km_per_min).min())
+
+
+def feasible_detour_points(
+    route_xy: np.ndarray,
+    route_times: Sequence[float],
+    target: Point,
+    max_detour: float,
+    deadline: float,
+    speed_km_per_min: float,
+) -> list[int]:
+    """Indices of route samples from which serving ``target`` is feasible.
+
+    A sample ``k`` is feasible when the out-and-back detour from it is
+    within ``max_detour`` (the paper bounds single-point service by
+    ``2 * dis <= d``, i.e. ``dis <= d/2``) and the worker can reach the
+    target before ``deadline`` when branching at that sample.
+    """
+    route = np.asarray(route_xy, dtype=float).reshape(-1, 2)
+    times = np.asarray(route_times, dtype=float)
+    if len(route) != len(times):
+        raise ValueError("route and times must align")
+    t = np.array([target.x, target.y])
+    dists = np.sqrt(((route - t) ** 2).sum(axis=1))
+    ok_detour = dists <= max_detour / 2.0
+    if speed_km_per_min <= 0:
+        ok_deadline = np.zeros(len(route), dtype=bool)
+    else:
+        ok_deadline = times + dists / speed_km_per_min <= deadline
+    return [int(i) for i in np.nonzero(ok_detour & ok_deadline)[0]]

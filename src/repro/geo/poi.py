@@ -1,0 +1,86 @@
+"""Points of interest.
+
+GTMC's spatial-feature similarity (Eq. 1) represents each learning task
+by the POI sequence ``V = {<x, y, a>}`` collected from the worker's
+history, where ``a`` is a POI category.  The paper sources POIs from
+OpenStreetMap; the offline generators synthesise a POI layer with the
+same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Sequence
+
+import numpy as np
+
+from repro.geo.point import Point
+
+
+class POICategory(IntEnum):
+    """Coarse OpenStreetMap-style POI categories."""
+
+    RESIDENTIAL = 0
+    OFFICE = 1
+    RETAIL = 2
+    FOOD = 3
+    TRANSIT = 4
+    LEISURE = 5
+    EDUCATION = 6
+    HEALTH = 7
+
+
+@dataclass(frozen=True, slots=True)
+class POI:
+    """A point of interest: location plus category."""
+
+    location: Point
+    category: POICategory
+
+    def as_feature(self) -> np.ndarray:
+        """The ``<x, y, a>`` feature vector used by ``Sim_s``."""
+        return np.array([self.location.x, self.location.y, float(self.category)], dtype=float)
+
+
+def poi_feature_matrix(pois: Sequence[POI]) -> np.ndarray:
+    """Stack POIs into an ``(n, 3)`` feature matrix."""
+    if not pois:
+        return np.zeros((0, 3), dtype=float)
+    return np.stack([p.as_feature() for p in pois])
+
+
+def nearest_poi(pois: Sequence[POI], location: Point) -> POI:
+    """The POI closest to ``location``.
+
+    Used to label trajectory samples with the POI a worker visited;
+    raises :class:`ValueError` on an empty POI layer.
+    """
+    if not pois:
+        raise ValueError("POI layer is empty")
+    xy = np.array([[p.location.x, p.location.y] for p in pois])
+    target = np.array([location.x, location.y])
+    idx = int(np.argmin(((xy - target) ** 2).sum(axis=1)))
+    return pois[idx]
+
+
+def visited_pois(pois: Sequence[POI], route_xy: np.ndarray, radius_km: float) -> list[POI]:
+    """POIs within ``radius_km`` of any route sample, in route order.
+
+    This builds the per-worker POI sequence ``V^(i)`` that ``Sim_s``
+    consumes.  A POI can appear multiple times if revisited, mirroring
+    a sequence (not a set) in the paper.
+    """
+    if radius_km < 0:
+        raise ValueError("radius must be non-negative")
+    if not pois:
+        return []
+    poi_xy = np.array([[p.location.x, p.location.y] for p in pois])
+    route = np.asarray(route_xy, dtype=float).reshape(-1, 2)
+    out: list[POI] = []
+    for sample in route:
+        d2 = ((poi_xy - sample) ** 2).sum(axis=1)
+        idx = int(np.argmin(d2))
+        if d2[idx] <= radius_km**2:
+            out.append(pois[idx])
+    return out

@@ -1,0 +1,110 @@
+"""Planar points and distance functions.
+
+The simulator works in a planar frame measured in kilometres.  A thin
+:class:`Point` value type keeps call sites readable while the hot paths
+(`pairwise_distances`, `path_length`) accept raw numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A location in the planar frame, in kilometres.
+
+    ``Point`` is immutable and hashable so it can key dictionaries and
+    live inside frozen task/worker records.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in kilometres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_array(self) -> np.ndarray:
+        """Return the point as a ``(2,)`` float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point offset by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    @staticmethod
+    def from_array(arr: Sequence[float]) -> "Point":
+        """Build a point from any length-2 sequence."""
+        if len(arr) != 2:
+            raise ValueError(f"expected a length-2 sequence, got {len(arr)}")
+        return Point(float(arr[0]), float(arr[1]))
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+def euclidean(a: Point | Sequence[float], b: Point | Sequence[float]) -> float:
+    """Euclidean distance between two points (or length-2 sequences)."""
+    ax, ay = a
+    bx, by = b
+    return math.hypot(ax - bx, ay - by)
+
+
+def haversine(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in kilometres between two lat/lon pairs.
+
+    Used when importing raw latitude/longitude traces into the planar
+    frame; the generators emit planar data directly, but the converter
+    is part of the public data-ingestion surface.
+    """
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    h = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs Euclidean distances between two ``(n, 2)``/``(m, 2)`` arrays.
+
+    Returns an ``(n, m)`` matrix.  This is the hot path behind the
+    spatial-similarity kernel and the assignment cost matrices.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or a.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) array, got {a.shape}")
+    if b.ndim != 2 or b.shape[1] != 2:
+        raise ValueError(f"expected (m, 2) array, got {b.shape}")
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt(np.einsum("nmk,nmk->nm", diff, diff))
+
+
+def path_length(points: np.ndarray | Iterable[Point]) -> float:
+    """Total polyline length of an ordered sequence of points."""
+    arr = _as_xy_array(points)
+    if len(arr) < 2:
+        return 0.0
+    segs = np.diff(arr, axis=0)
+    return float(np.sqrt((segs**2).sum(axis=1)).sum())
+
+
+def _as_xy_array(points: np.ndarray | Iterable[Point]) -> np.ndarray:
+    """Coerce an iterable of points into an ``(n, 2)`` float array."""
+    if isinstance(points, np.ndarray):
+        arr = points.astype(float, copy=False)
+    else:
+        arr = np.array([[p.x, p.y] if isinstance(p, Point) else list(p) for p in points], dtype=float)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {arr.shape}")
+    return arr

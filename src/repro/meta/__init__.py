@@ -1,0 +1,42 @@
+"""Meta-learning: learning tasks, MAML, GTMC, TAML, and the CTML baseline.
+
+A *learning task* (``Gamma_i``) is "predict worker ``w_i``'s mobility
+from their history" — one per worker.  GTMC (Algorithm 1) clusters
+learning tasks into a learning task tree via potential-game
+best-response dynamics; TAML (Algorithm 2) meta-trains an
+initialisation per tree node; Meta-Training (Algorithm 3) is the
+MAML-style inner/outer loop run at the leaves.
+"""
+
+from repro.meta.learning_task import LearningTask, split_support_query
+from repro.meta.maml import (
+    MAMLConfig,
+    adapt,
+    meta_train,
+    evaluate_adapted,
+    learning_path,
+)
+from repro.meta.task_tree import LearningTaskTree
+from repro.meta.gtmc import GTMCConfig, gtmc_cluster, kmeans_multilevel_cluster
+from repro.meta.taml import TAMLConfig, taml_train, place_learning_task
+from repro.meta.ctml import CTMLConfig, ctml_train, CTMLModelBank
+
+__all__ = [
+    "LearningTask",
+    "split_support_query",
+    "MAMLConfig",
+    "adapt",
+    "meta_train",
+    "evaluate_adapted",
+    "learning_path",
+    "LearningTaskTree",
+    "GTMCConfig",
+    "gtmc_cluster",
+    "kmeans_multilevel_cluster",
+    "TAMLConfig",
+    "taml_train",
+    "place_learning_task",
+    "CTMLConfig",
+    "ctml_train",
+    "CTMLModelBank",
+]

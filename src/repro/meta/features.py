@@ -1,0 +1,149 @@
+"""Clustering features: similarity matrices and vector embeddings.
+
+GTMC consumes per-factor similarity matrices (Eqs. 1-3); the
+GTTAML-GT and CTML baselines need vector embeddings of the same three
+factors.  This module builds both from a set of learning tasks plus
+their probe learning paths.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.meta.learning_task import LearningTask
+from repro.similarity.distribution import distribution_similarity
+from repro.similarity.learning_path import learning_path_similarity
+from repro.similarity.quality import normalize_similarity_matrix, similarity_matrix
+from repro.similarity.spatial import spatial_similarity
+
+FACTOR_NAMES = ("distribution", "spatial", "learning_path")
+
+
+def build_similarity_matrices(
+    tasks: Sequence[LearningTask],
+    paths: Mapping[int, np.ndarray] | None = None,
+    factors: Sequence[str] = FACTOR_NAMES,
+    rng: np.random.Generator | None = None,
+    spatial_bandwidth_km: float = 1.0,
+) -> dict[str, np.ndarray]:
+    """Normalised ``(n, n)`` similarity matrices for the requested factors.
+
+    ``paths`` maps worker ids to their ``(k, p)`` probe gradient paths
+    (required when ``"learning_path"`` is requested; see
+    :func:`repro.meta.maml.learning_path`).
+    """
+    seed = int(rng.integers(2**31)) if rng is not None else 0
+    out: dict[str, np.ndarray] = {}
+    for factor in factors:
+        if factor == "distribution":
+            # A fresh generator per pair keeps the sliced-Wasserstein
+            # projections identical across pairs: one consistent metric.
+            out[factor] = similarity_matrix(
+                list(tasks),
+                lambda a, b: distribution_similarity(
+                    a.location_sample,
+                    b.location_sample,
+                    method="sliced",
+                    rng=np.random.default_rng(seed),
+                ),
+            )
+        elif factor == "spatial":
+            out[factor] = similarity_matrix(
+                list(tasks),
+                lambda a, b: spatial_similarity(
+                    a.poi_features, b.poi_features, bandwidth_km=spatial_bandwidth_km
+                ),
+            )
+        elif factor == "learning_path":
+            if paths is None:
+                raise ValueError("learning_path similarity requires probe gradient paths")
+            missing = [t.worker_id for t in tasks if t.worker_id not in paths]
+            if missing:
+                raise KeyError(f"no learning path for workers {missing[:5]}")
+            out[factor] = similarity_matrix(
+                list(tasks),
+                lambda a, b: learning_path_similarity(paths[a.worker_id], paths[b.worker_id]),
+            )
+        else:
+            raise ValueError(f"unknown factor '{factor}'")
+    return out
+
+
+def distribution_embedding(task: LearningTask) -> np.ndarray:
+    """Moment embedding of a task's location distribution.
+
+    Mean, standard deviation, and correlation of the planar sample —
+    the sufficient statistics a Gaussian view of the distribution would
+    compare, giving k-means a faithful stand-in for ``Sim_d``.
+    """
+    pts = np.asarray(task.location_sample, dtype=float).reshape(-1, 2)
+    if len(pts) == 0:
+        return np.zeros(5)
+    mean = pts.mean(axis=0)
+    std = pts.std(axis=0)
+    if len(pts) > 1 and std[0] > 1e-9 and std[1] > 1e-9:
+        corr = float(np.corrcoef(pts[:, 0], pts[:, 1])[0, 1])
+    else:
+        corr = 0.0
+    return np.array([mean[0], mean[1], std[0], std[1], corr])
+
+
+def spatial_embedding(task: LearningTask, n_categories: int = 8) -> np.ndarray:
+    """POI footprint embedding: mean location + category histogram."""
+    feats = np.asarray(task.poi_features, dtype=float).reshape(-1, 3)
+    if len(feats) == 0:
+        return np.zeros(2 + n_categories)
+    mean_xy = feats[:, :2].mean(axis=0)
+    hist = np.zeros(n_categories)
+    cats = feats[:, 2].astype(int)
+    for c in cats:
+        if 0 <= c < n_categories:
+            hist[c] += 1
+    hist /= max(hist.sum(), 1.0)
+    return np.concatenate([mean_xy, hist])
+
+
+def path_embedding(path: np.ndarray, dim: int = 32, seed: int = 12345) -> np.ndarray:
+    """Fixed random projection of a gradient path to exactly ``dim`` dims.
+
+    Per-step gradients are L2-normalised first so the embedding
+    reflects direction (what Eq. 2's cosine compares), not magnitude,
+    then projected and averaged over steps so paths of different
+    lengths embed into the same space.  The projection matrix is
+    seeded deterministically so every task is embedded consistently.
+    """
+    p = np.atleast_2d(np.asarray(path, dtype=float))
+    norms = np.linalg.norm(p, axis=1, keepdims=True)
+    p = p / np.maximum(norms, 1e-12)
+    rng = np.random.default_rng(seed)
+    proj = rng.normal(size=(p.shape[1], dim)) / np.sqrt(dim)
+    return (p @ proj).mean(axis=0)
+
+
+def build_factor_embeddings(
+    tasks: Sequence[LearningTask],
+    paths: Mapping[int, np.ndarray] | None = None,
+    factors: Sequence[str] = FACTOR_NAMES,
+    path_dim: int = 32,
+) -> dict[str, np.ndarray]:
+    """``(n, d)`` embeddings per factor for the k-means ablation."""
+    out: dict[str, np.ndarray] = {}
+    for factor in factors:
+        if factor == "distribution":
+            out[factor] = np.stack([distribution_embedding(t) for t in tasks])
+        elif factor == "spatial":
+            out[factor] = np.stack([spatial_embedding(t) for t in tasks])
+        elif factor == "learning_path":
+            if paths is None:
+                raise ValueError("learning_path embedding requires probe gradient paths")
+            out[factor] = np.stack([path_embedding(paths[t.worker_id], dim=path_dim) for t in tasks])
+        else:
+            raise ValueError(f"unknown factor '{factor}'")
+    return out
+
+
+def renormalize(matrices: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Re-run min-max normalisation on a dict of similarity matrices."""
+    return {k: normalize_similarity_matrix(v) for k, v in matrices.items()}

@@ -1,0 +1,177 @@
+"""Game Theory-based Multi-level Learning Task Clustering (Algorithm 1).
+
+Builds the learning task tree level by level.  At each level ``j`` the
+node's cluster is seeded with k-medoids under ``1 / Sim_j`` distances
+(line 5), refined to a Nash equilibrium with best-response dynamics
+(lines 6-11), and every resulting sub-cluster becomes a child node; a
+child whose quality is still below the level's threshold descends to
+the next similarity factor (lines 17-18).
+
+``kmeans_multilevel_cluster`` is the GTTAML-GT ablation: the same
+multi-level structure with plain k-means on per-factor embeddings and
+no game refinement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.game import best_response_clustering, cluster_quality
+from repro.cluster.kmeans import kmeans
+from repro.cluster.kmedoids import kmedoids
+from repro.meta.learning_task import LearningTask
+from repro.meta.task_tree import LearningTaskTree
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class GTMCConfig:
+    """Knobs of Algorithm 1.
+
+    Attributes
+    ----------
+    k:
+        Sub-clusters to seed per split.
+    gamma:
+        Singleton-cluster utility (Eq. 4); the paper uses 0.2.
+    factors:
+        Ordered similarity-factor names (``F^s``); the paper's best
+        order is distribution, spatial, learning path (Table IV).
+    thresholds:
+        Per-level quality thresholds ``Theta_j``: a sub-cluster of
+        quality below ``thresholds[j]`` is clustered again with the
+        next factor.
+    max_rounds:
+        Best-response sweep cap (defensive; Theorem 1 converges).
+    """
+
+    k: int = 3
+    gamma: float = 0.2
+    factors: tuple[str, ...] = ("distribution", "spatial", "learning_path")
+    thresholds: tuple[float, ...] = field(default=(0.9, 0.9, 0.9))
+    max_rounds: int = 100
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if not 0.0 < self.gamma < 1.0:
+            raise ValueError("gamma must lie in (0, 1)")
+        if not self.factors:
+            raise ValueError("need at least one similarity factor")
+        if len(self.thresholds) < len(self.factors):
+            raise ValueError("need a threshold per factor")
+
+
+def _group_by_label(labels: np.ndarray) -> list[np.ndarray]:
+    """Non-empty label groups as local index arrays."""
+    groups: dict[int, list[int]] = {}
+    for i, lab in enumerate(labels):
+        groups.setdefault(int(lab), []).append(i)
+    return [np.asarray(v, dtype=int) for _, v in sorted(groups.items())]
+
+
+def gtmc_cluster(
+    tasks: Sequence[LearningTask],
+    sim_matrices: Mapping[str, np.ndarray],
+    config: GTMCConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> LearningTaskTree:
+    """Run Algorithm 1 and return the learning task tree.
+
+    ``sim_matrices`` maps each factor name in ``config.factors`` to a
+    global ``(n, n)`` similarity matrix over ``tasks`` (values in
+    ``[0, 1]``; see :func:`repro.similarity.quality.similarity_matrix`).
+    """
+    cfg = config if config is not None else GTMCConfig()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    for factor in cfg.factors:
+        if factor not in sim_matrices:
+            raise KeyError(f"missing similarity matrix for factor '{factor}'")
+        mat = np.asarray(sim_matrices[factor])
+        if mat.shape != (len(tasks), len(tasks)):
+            raise ValueError(f"similarity matrix for '{factor}' has shape {mat.shape}")
+
+    tasks = list(tasks)
+    root = LearningTaskTree(cluster=tasks)
+    queue: deque[tuple[LearningTaskTree, int, np.ndarray]] = deque()
+    queue.append((root, 0, np.arange(len(tasks))))
+
+    while queue:
+        node, j, idx = queue.popleft()
+        if len(idx) < 2:
+            continue
+        factor = cfg.factors[j]
+        sim_sub = np.asarray(sim_matrices[factor])[np.ix_(idx, idx)]
+
+        # Line 5: seed with k-medoids using 1/Sim as distance.
+        dist = 1.0 / (sim_sub + _EPS)
+        np.fill_diagonal(dist, 0.0)
+        seed = kmedoids(dist, k=min(cfg.k, len(idx)), rng=rng)
+
+        # Lines 6-11: best-response dynamics to Nash equilibrium.
+        result = best_response_clustering(
+            sim_sub, seed.labels, gamma=cfg.gamma, max_rounds=cfg.max_rounds
+        )
+        groups = _group_by_label(result.labels)
+
+        # Lines 13-18: materialise children; descend low-quality ones.
+        if len(groups) <= 1:
+            continue
+        for local in groups:
+            child = LearningTaskTree(cluster=[tasks[int(idx[i])] for i in local], factor=factor)
+            node.add_child(child)
+            quality = cluster_quality(sim_sub, [int(i) for i in local], cfg.gamma)
+            if j + 1 < len(cfg.factors) and quality < cfg.thresholds[j]:
+                queue.append((child, j + 1, idx[local]))
+    return root
+
+
+def kmeans_multilevel_cluster(
+    tasks: Sequence[LearningTask],
+    embeddings: Mapping[str, np.ndarray],
+    sim_matrices: Mapping[str, np.ndarray],
+    config: GTMCConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> LearningTaskTree:
+    """The GTTAML-GT ablation: multi-level k-means, no strategy game.
+
+    ``embeddings`` maps each factor to an ``(n, d)`` vector embedding
+    of the learning tasks (see :mod:`repro.meta.features`); splits and
+    descent decisions mirror :func:`gtmc_cluster`, with cluster quality
+    still measured on the similarity matrices so the descent criterion
+    is identical across the ablation.
+    """
+    cfg = config if config is not None else GTMCConfig()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    for factor in cfg.factors:
+        if factor not in embeddings:
+            raise KeyError(f"missing embedding for factor '{factor}'")
+
+    tasks = list(tasks)
+    root = LearningTaskTree(cluster=tasks)
+    queue: deque[tuple[LearningTaskTree, int, np.ndarray]] = deque()
+    queue.append((root, 0, np.arange(len(tasks))))
+
+    while queue:
+        node, j, idx = queue.popleft()
+        if len(idx) < 2:
+            continue
+        factor = cfg.factors[j]
+        emb = np.asarray(embeddings[factor])[idx]
+        labels = kmeans(emb, k=min(cfg.k, len(idx)), rng=rng).labels
+        groups = _group_by_label(labels)
+        if len(groups) <= 1:
+            continue
+        sim_sub = np.asarray(sim_matrices[factor])[np.ix_(idx, idx)]
+        for local in groups:
+            child = LearningTaskTree(cluster=[tasks[int(idx[i])] for i in local], factor=factor)
+            node.add_child(child)
+            quality = cluster_quality(sim_sub, [int(i) for i in local], cfg.gamma)
+            if j + 1 < len(cfg.factors) and quality < cfg.thresholds[j]:
+                queue.append((child, j + 1, idx[local]))
+    return root

@@ -1,0 +1,106 @@
+"""Learning tasks: one per worker (Section III-B).
+
+A learning task ``Gamma_i`` bundles worker ``w_i``'s supervised
+trajectory windows — a support set for adaptation and a query set for
+meta-evaluation — together with the clustering features GTMC needs:
+the raw location sample for distribution similarity and the POI
+feature sequence for spatial similarity.  (The learning-path feature
+is computed against a probe meta-learner, see
+:func:`repro.meta.maml.learning_path`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class LearningTask:
+    """Per-worker meta-learning unit.
+
+    Attributes
+    ----------
+    worker_id:
+        The worker this learning task predicts.
+    support_x / support_y:
+        Adaptation windows, shapes ``(n_s, seq_in, 2)`` and
+        ``(n_s, seq_out, 2)`` in normalised coordinates.
+    query_x / query_y:
+        Meta-evaluation windows with the same layout.
+    location_sample:
+        ``(m, 2)`` raw planar points drawn from the worker's history —
+        the empirical distribution ``Sim_d`` compares.
+    poi_features:
+        ``(p, 3)`` rows ``<x, y, category>`` — the POI sequence
+        ``V^(i)`` that ``Sim_s`` compares.
+    """
+
+    worker_id: int
+    support_x: np.ndarray
+    support_y: np.ndarray
+    query_x: np.ndarray
+    query_y: np.ndarray
+    location_sample: np.ndarray = field(default_factory=lambda: np.zeros((0, 2)))
+    poi_features: np.ndarray = field(default_factory=lambda: np.zeros((0, 3)))
+
+    def __post_init__(self) -> None:
+        self.support_x = np.asarray(self.support_x, dtype=float)
+        self.support_y = np.asarray(self.support_y, dtype=float)
+        self.query_x = np.asarray(self.query_x, dtype=float)
+        self.query_y = np.asarray(self.query_y, dtype=float)
+        for name, arr in (("support_x", self.support_x), ("query_x", self.query_x)):
+            if arr.ndim != 3:
+                raise ValueError(f"{name} must be (n, seq, 2), got {arr.shape}")
+        if len(self.support_x) != len(self.support_y):
+            raise ValueError("support x/y sizes differ")
+        if len(self.query_x) != len(self.query_y):
+            raise ValueError("query x/y sizes differ")
+        if len(self.support_x) == 0:
+            raise ValueError("a learning task needs a non-empty support set")
+
+    @property
+    def seq_in(self) -> int:
+        return self.support_x.shape[1]
+
+    @property
+    def seq_out(self) -> int:
+        return self.support_y.shape[1]
+
+    def support_batch(self, size: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        """A random mini-batch from the support set (with replacement
+        only when the set is smaller than ``size``)."""
+        n = len(self.support_x)
+        if size >= n:
+            return self.support_x, self.support_y
+        idx = rng.choice(n, size=size, replace=False)
+        return self.support_x[idx], self.support_y[idx]
+
+
+def split_support_query(
+    x: np.ndarray,
+    y: np.ndarray,
+    query_fraction: float = 0.25,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random support/query split of a worker's windows.
+
+    Guarantees at least one window on each side (the query side may be
+    empty only when there is a single window in total).
+    """
+    if not 0.0 < query_fraction < 1.0:
+        raise ValueError("query_fraction must lie in (0, 1)")
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y):
+        raise ValueError("x and y must align")
+    n = len(x)
+    if n == 0:
+        raise ValueError("no windows to split")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    idx = rng.permutation(n)
+    n_query = min(max(int(round(n * query_fraction)), 1), n - 1) if n > 1 else 0
+    query_idx = idx[:n_query]
+    support_idx = idx[n_query:]
+    return x[support_idx], y[support_idx], x[query_idx], y[query_idx]

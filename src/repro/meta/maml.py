@@ -1,0 +1,193 @@
+"""Meta-Training (Algorithm 3): first-order MAML over a task cluster.
+
+Per iteration: sample ``m`` learning tasks, adapt ``k`` inner SGD steps
+on each task's support set from the shared initialisation, compute the
+query losses of the adapted models, and move the initialisation along
+the averaged query gradient.  The outer gradient is taken at the
+adapted parameters (first-order MAML); a Reptile-style outer update is
+available for the ablation benches (``outer="reptile"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.meta.learning_task import LearningTask
+from repro.nn.module import (
+    Module,
+    apply_gradient_step,
+    clone_parameters,
+    flatten_gradients,
+)
+from repro.nn.tensor import Tensor, grad_of
+
+LossFn = Callable[[Tensor, Tensor], Tensor]
+
+
+@dataclass(frozen=True, slots=True)
+class MAMLConfig:
+    """Hyper-parameters of Algorithm 3.
+
+    ``meta_lr`` is the paper's alpha, ``inner_lr`` its beta,
+    ``inner_steps`` the adaptation count ``k``, ``meta_batch`` the
+    sampled task count ``m``, and ``iterations`` the outer-loop length.
+    """
+
+    meta_lr: float = 0.05
+    inner_lr: float = 0.1
+    inner_steps: int = 3
+    meta_batch: int = 4
+    iterations: int = 30
+    support_batch: int = 16
+    outer: str = "fomaml"
+
+    def __post_init__(self) -> None:
+        if self.meta_lr <= 0 or self.inner_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.inner_steps < 1 or self.meta_batch < 1 or self.iterations < 1:
+            raise ValueError("step/batch/iteration counts must be positive")
+        if self.outer not in ("fomaml", "reptile"):
+            raise ValueError(f"unknown outer update '{self.outer}'")
+
+
+def _named_grads(
+    loss: Tensor,
+    params: Mapping[str, Tensor],
+) -> dict[str, np.ndarray]:
+    names = list(params)
+    grads = grad_of(loss, (params[n] for n in names))
+    return dict(zip(names, grads))
+
+
+def adapt(
+    model: Module,
+    task: LearningTask,
+    loss_fn: LossFn,
+    inner_lr: float,
+    inner_steps: int,
+    init: Mapping[str, Tensor] | None = None,
+    support_batch: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> dict[str, Tensor]:
+    """``k`` inner SGD steps on the task's support set.
+
+    Starts from ``init`` (defaults to the model's current parameters)
+    and returns the adapted parameter dict; the model itself is never
+    mutated.
+    """
+    params = dict(init) if init is not None else clone_parameters(model)
+    params = {k: v.clone(requires_grad=True) for k, v in params.items()}
+    rng = rng if rng is not None else np.random.default_rng(0)
+    for _ in range(inner_steps):
+        if support_batch is not None:
+            xb, yb = task.support_batch(support_batch, rng)
+        else:
+            xb, yb = task.support_x, task.support_y
+        pred = model.functional_call(params, Tensor(xb))
+        loss = loss_fn(pred, Tensor(yb))
+        grads = _named_grads(loss, params)
+        params = apply_gradient_step(params, grads, inner_lr)
+    return params
+
+
+def evaluate_adapted(
+    model: Module,
+    params: Mapping[str, Tensor],
+    x: np.ndarray,
+    y: np.ndarray,
+    loss_fn: LossFn,
+) -> float:
+    """Loss of a parameter set on given windows (no gradient)."""
+    if len(x) == 0:
+        return 0.0
+    pred = model.functional_call(dict(params), Tensor(np.asarray(x, dtype=float)))
+    return float(loss_fn(pred, Tensor(np.asarray(y, dtype=float))).item())
+
+
+def meta_train(
+    model: Module,
+    tasks: Sequence[LearningTask],
+    config: MAMLConfig,
+    loss_fn: LossFn,
+    rng: np.random.Generator | None = None,
+) -> list[float]:
+    """Run Algorithm 3 in place on ``model``; returns per-iteration
+    average query losses (the ``L^avg`` the tree propagates)."""
+    if not tasks:
+        raise ValueError("meta_train needs at least one learning task")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    history: list[float] = []
+    own_params = dict(model.named_parameters())
+
+    for _ in range(config.iterations):
+        batch_size = min(config.meta_batch, len(tasks))
+        chosen = rng.choice(len(tasks), size=batch_size, replace=False)
+        grad_accum: dict[str, np.ndarray] = {n: np.zeros_like(p.data) for n, p in own_params.items()}
+        delta_accum: dict[str, np.ndarray] = {n: np.zeros_like(p.data) for n, p in own_params.items()}
+        query_losses: list[float] = []
+
+        for idx in chosen:
+            task = tasks[int(idx)]
+            adapted = adapt(
+                model,
+                task,
+                loss_fn,
+                inner_lr=config.inner_lr,
+                inner_steps=config.inner_steps,
+                support_batch=config.support_batch,
+                rng=rng,
+            )
+            qx, qy = (task.query_x, task.query_y)
+            if len(qx) == 0:  # degenerate task: fall back to support windows
+                qx, qy = task.support_x, task.support_y
+            pred = model.functional_call(adapted, Tensor(qx))
+            loss = loss_fn(pred, Tensor(qy))
+            query_losses.append(float(loss.item()))
+            if config.outer == "fomaml":
+                grads = _named_grads(loss, adapted)
+                for name in grad_accum:
+                    grad_accum[name] += grads[name]
+            else:  # reptile: move toward the adapted parameters
+                for name in delta_accum:
+                    delta_accum[name] += own_params[name].data - adapted[name].data
+
+        if config.outer == "fomaml":
+            for name, param in own_params.items():
+                param.data = param.data - config.meta_lr * grad_accum[name] / batch_size
+        else:
+            for name, param in own_params.items():
+                param.data = param.data - config.meta_lr * delta_accum[name] / batch_size
+        history.append(float(np.mean(query_losses)))
+    return history
+
+
+def learning_path(
+    model: Module,
+    task: LearningTask,
+    loss_fn: LossFn,
+    inner_lr: float,
+    steps: int,
+    init: Mapping[str, Tensor] | None = None,
+) -> np.ndarray:
+    """The k-step gradient path ``Z^(i)`` of Eq. 2.
+
+    Trains a probe learner on the task for ``steps`` full-support SGD
+    steps from ``init`` (default: the model's current parameters) and
+    returns the ``(steps, p)`` matrix of flattened gradients observed
+    along the way.
+    """
+    if steps < 1:
+        raise ValueError("need at least one step")
+    params = dict(init) if init is not None else clone_parameters(model)
+    params = {k: v.clone(requires_grad=True) for k, v in params.items()}
+    path: list[np.ndarray] = []
+    for _ in range(steps):
+        pred = model.functional_call(params, Tensor(task.support_x))
+        loss = loss_fn(pred, Tensor(task.support_y))
+        grads = _named_grads(loss, params)
+        path.append(flatten_gradients(grads))
+        params = apply_gradient_step(params, grads, inner_lr)
+    return np.stack(path)

@@ -1,0 +1,101 @@
+"""The learning task tree (Definition 6).
+
+A multi-forked tree whose nodes hold a learning task cluster ``G``, a
+parent/children structure, and the initialisation weights ``theta`` of
+the mobility model for that cluster.  Only leaves carry training data;
+interior nodes aggregate their children's initialisations (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.meta.learning_task import LearningTask
+
+
+@dataclass
+class LearningTaskTree:
+    """One node of the learning task tree ``T^t = (G, CH, fr, theta)``.
+
+    Attributes
+    ----------
+    cluster:
+        The learning tasks in this node's cluster ``G``.
+    children:
+        Child nodes ``CH``.
+    parent:
+        Father node ``fr`` (``None`` at the root).
+    theta:
+        Initialisation weights for the cluster's mobility models, as a
+        state dict (``None`` until TAML trains the tree).
+    level:
+        Depth in the tree (root = 0); level ``j`` nodes were produced
+        by the ``j``-th similarity factor.
+    factor:
+        Name of the similarity factor that produced this node's split
+        (empty at the root).
+    """
+
+    cluster: list[LearningTask]
+    children: list["LearningTaskTree"] = field(default_factory=list)
+    parent: "LearningTaskTree | None" = None
+    theta: dict[str, np.ndarray] | None = None
+    level: int = 0
+    factor: str = ""
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_child(self, child: "LearningTaskTree") -> None:
+        child.parent = self
+        child.level = self.level + 1
+        self.children.append(child)
+
+    def iter_nodes(self) -> Iterator["LearningTaskTree"]:
+        """All nodes, depth-first pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def iter_postorder(self) -> Iterator["LearningTaskTree"]:
+        """All nodes, depth-first post-order (the newcomer-placement
+        traversal of Section III-B)."""
+        for child in self.children:
+            yield from child.iter_postorder()
+        yield self
+
+    def leaves(self) -> list["LearningTaskTree"]:
+        return [n for n in self.iter_nodes() if n.is_leaf]
+
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a lone leaf has depth 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def worker_ids(self) -> list[int]:
+        """Worker ids covered by this subtree (leaf clusters only, since
+        interior nodes retain the full pre-split cluster)."""
+        if self.is_leaf:
+            return [t.worker_id for t in self.cluster]
+        out: list[int] = []
+        for child in self.children:
+            out.extend(child.worker_ids())
+        return out
+
+    def find_leaf_for_worker(self, worker_id: int) -> "LearningTaskTree | None":
+        for leaf in self.leaves():
+            if any(t.worker_id == worker_id for t in leaf.cluster):
+                return leaf
+        return None
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"node[{len(self.children)}]"
+        return f"LearningTaskTree({kind}, level={self.level}, |G|={len(self.cluster)}, factor='{self.factor}')"

@@ -1,0 +1,64 @@
+"""Neural-network substrate: numpy autograd, LSTM seq2seq, optimisers, losses.
+
+Implemented from scratch because the reproduction environment has no
+deep-learning framework; see ``DESIGN.md`` §3 for the substitution
+rationale.  The engine is first-order (no double backprop), which is
+all the first-order MAML stack requires.
+"""
+
+from repro.nn.tensor import Tensor, concat, stack, grad_of
+from repro.nn.module import (
+    Module,
+    Parameter,
+    ParamContext,
+    clone_parameters,
+    apply_gradient_step,
+    flatten_parameters,
+    flatten_gradients,
+    average_state_dicts,
+)
+from repro.nn.layers import Linear, MLP
+from repro.nn.lstm import LSTM, LSTMCell
+from repro.nn.seq2seq import LSTMEncoderDecoder, GRUEncoderDecoder, make_mobility_model
+from repro.nn.gru import GRU, GRUCell
+from repro.nn.optim import SGD, Adam, Optimizer, clip_gradients
+from repro.nn.losses import (
+    mse_loss,
+    mae_loss,
+    weighted_mse_loss,
+    TaskDensityWeighter,
+    make_loss,
+)
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "grad_of",
+    "Module",
+    "Parameter",
+    "ParamContext",
+    "clone_parameters",
+    "apply_gradient_step",
+    "flatten_parameters",
+    "flatten_gradients",
+    "average_state_dicts",
+    "Linear",
+    "MLP",
+    "LSTM",
+    "LSTMCell",
+    "LSTMEncoderDecoder",
+    "GRUEncoderDecoder",
+    "make_mobility_model",
+    "GRU",
+    "GRUCell",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_gradients",
+    "mse_loss",
+    "mae_loss",
+    "weighted_mse_loss",
+    "TaskDensityWeighter",
+    "make_loss",
+]

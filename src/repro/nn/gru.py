@@ -1,0 +1,89 @@
+"""GRU cell and layer.
+
+The encoder-decoder the paper cites ([27], Cho et al. 2014) is in fact
+GRU-based; the paper instantiates it with LSTM units.  Both cells are
+provided so the model-agnostic claim of Section III-B can be exercised:
+the meta-learning stack runs unchanged on either recurrence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.layers import _sub_context
+from repro.nn.module import Module, ParamContext, Parameter
+from repro.nn.tensor import Tensor, concat
+
+
+class GRUCell(Module):
+    """A single GRU step: ``(x_t, h) -> h'``.
+
+    Gate order in the fused matrices is ``[reset, update]``; the
+    candidate state has its own parameters so the reset gate can be
+    applied to the hidden state before the candidate projection.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("sizes must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(init.xavier_uniform(rng, input_size, 2 * hidden_size), name="w_ih")
+        self.w_hh = Parameter(init.xavier_uniform(rng, hidden_size, 2 * hidden_size), name="w_hh")
+        self.bias = Parameter(init.zeros((2 * hidden_size,)), name="bias")
+        self.w_ic = Parameter(init.xavier_uniform(rng, input_size, hidden_size), name="w_ic")
+        self.w_hc = Parameter(init.xavier_uniform(rng, hidden_size, hidden_size), name="w_hc")
+        self.bias_c = Parameter(init.zeros((hidden_size,)), name="bias_c")
+
+    def forward(
+        self,
+        x: Tensor,
+        h: Tensor,
+        ctx: ParamContext | None = None,
+    ) -> Tensor:
+        w_ih = self._resolve(ctx, "w_ih", self.w_ih)
+        w_hh = self._resolve(ctx, "w_hh", self.w_hh)
+        bias = self._resolve(ctx, "bias", self.bias)
+        w_ic = self._resolve(ctx, "w_ic", self.w_ic)
+        w_hc = self._resolve(ctx, "w_hc", self.w_hc)
+        bias_c = self._resolve(ctx, "bias_c", self.bias_c)
+
+        gates = x @ w_ih + h @ w_hh + bias
+        n = self.hidden_size
+        reset = gates[..., 0:n].sigmoid()
+        update = gates[..., n : 2 * n].sigmoid()
+        candidate = (x @ w_ic + (reset * h) @ w_hc + bias_c).tanh()
+        return update * h + (1.0 - update) * candidate
+
+    def zero_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class GRU(Module):
+    """Unidirectional single-layer GRU over ``(batch, time, features)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_size, hidden_size, rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        ctx: ParamContext | None = None,
+        state: Tensor | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        """Run the sequence; returns ``(outputs, h_T)``."""
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got shape {x.shape}")
+        batch, steps, _ = x.shape
+        cell_ctx = _sub_context(ctx, "cell.")
+        h = state if state is not None else self.cell.zero_state(batch)
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            h = self.cell.forward(x[:, t, :], h, ctx=cell_ctx)
+            outputs.append(h.reshape(batch, 1, self.hidden_size))
+        return concat(outputs, axis=1), h

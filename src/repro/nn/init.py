@@ -1,0 +1,40 @@
+"""Weight initialisers.
+
+All initialisers take an explicit ``numpy.random.Generator`` so every
+model build in the pipeline is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def uniform(rng: np.random.Generator, shape: tuple[int, ...], scale: float) -> np.ndarray:
+    """Uniform initialisation in ``[-scale, scale]``."""
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def lstm_bias(hidden_size: int, forget_bias: float = 1.0) -> np.ndarray:
+    """LSTM bias with the forget gate biased open.
+
+    Gate order is ``[input, forget, cell, output]``; starting the forget
+    gate at ``forget_bias`` is the standard trick for stable training of
+    small recurrent models.
+    """
+    if hidden_size <= 0:
+        raise ValueError("hidden_size must be positive")
+    bias = np.zeros(4 * hidden_size, dtype=np.float64)
+    bias[hidden_size : 2 * hidden_size] = forget_bias
+    return bias

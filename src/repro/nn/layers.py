@@ -1,0 +1,76 @@
+"""Basic layers: linear projection and small containers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, ParamContext, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` for inputs of shape ``(..., in_features)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        name: str = "linear",
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature sizes must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self._name = name
+        self.weight = Parameter(init.xavier_uniform(rng, in_features, out_features), name=f"{name}.weight")
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)), name=f"{name}.bias")
+
+    def forward(self, x: Tensor, ctx: ParamContext | None = None) -> Tensor:
+        weight = self._resolve(ctx, "weight", self.weight)
+        out = x @ weight
+        if self.has_bias:
+            out = out + self._resolve(ctx, "bias", self.bias)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.has_bias})"
+
+
+class MLP(Module):
+    """A small feed-forward network with tanh activations.
+
+    Used by tests and the micro-benchmarks as a minimal differentiable
+    model; the production mobility model is the LSTM encoder-decoder.
+    """
+
+    def __init__(self, sizes: list[int], rng: np.random.Generator) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        self.sizes = list(sizes)
+        self.n_layers = len(sizes) - 1
+        for idx, (fan_in, fan_out) in enumerate(zip(sizes, sizes[1:])):
+            setattr(self, f"layer{idx}", Linear(fan_in, fan_out, rng, name=f"layer{idx}"))
+
+    def forward(self, x: Tensor, ctx: ParamContext | None = None) -> Tensor:
+        h = x
+        for idx in range(self.n_layers):
+            layer: Linear = getattr(self, f"layer{idx}")
+            sub = _sub_context(ctx, f"layer{idx}.")
+            h = layer.forward(h, ctx=sub)
+            if idx < self.n_layers - 1:
+                h = h.tanh()
+        return h
+
+
+def _sub_context(ctx: ParamContext | None, prefix: str) -> ParamContext | None:
+    """Narrow a parameter context to one sub-module's namespace."""
+    if ctx is None or not ctx:
+        return None
+    return ctx.narrowed(prefix)

@@ -1,0 +1,89 @@
+"""LSTM cell and layer.
+
+The paper's mobility model is an LSTM encoder-decoder (Section III-B,
+Discussion).  The cell uses the standard fused formulation with gate
+order ``[input, forget, cell-candidate, output]`` and the forget gate
+biased open at initialisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.layers import _sub_context
+from repro.nn.module import Module, ParamContext, Parameter
+from repro.nn.tensor import Tensor, concat
+
+
+class LSTMCell(Module):
+    """A single LSTM step: ``(x_t, h, c) -> (h', c')``."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("sizes must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(init.xavier_uniform(rng, input_size, 4 * hidden_size), name="w_ih")
+        self.w_hh = Parameter(init.xavier_uniform(rng, hidden_size, 4 * hidden_size), name="w_hh")
+        self.bias = Parameter(init.lstm_bias(hidden_size), name="bias")
+
+    def forward(
+        self,
+        x: Tensor,
+        state: tuple[Tensor, Tensor],
+        ctx: ParamContext | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        h, c = state
+        w_ih = self._resolve(ctx, "w_ih", self.w_ih)
+        w_hh = self._resolve(ctx, "w_hh", self.w_hh)
+        bias = self._resolve(ctx, "bias", self.bias)
+        gates = x @ w_ih + h @ w_hh + bias
+        n = self.hidden_size
+        i_gate = gates[..., 0:n].sigmoid()
+        f_gate = gates[..., n : 2 * n].sigmoid()
+        g_cand = gates[..., 2 * n : 3 * n].tanh()
+        o_gate = gates[..., 3 * n : 4 * n].sigmoid()
+        c_new = f_gate * c + i_gate * g_cand
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def zero_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        """All-zeros ``(h, c)`` for a batch."""
+        return (
+            Tensor(np.zeros((batch, self.hidden_size))),
+            Tensor(np.zeros((batch, self.hidden_size))),
+        )
+
+
+class LSTM(Module):
+    """Unidirectional single-layer LSTM over ``(batch, time, features)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        ctx: ParamContext | None = None,
+        state: tuple[Tensor, Tensor] | None = None,
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Run the sequence; returns ``(outputs, (h_T, c_T))``.
+
+        ``outputs`` stacks the hidden state at every step with shape
+        ``(batch, time, hidden)``.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got shape {x.shape}")
+        batch, steps, _ = x.shape
+        cell_ctx = _sub_context(ctx, "cell.")
+        h, c = state if state is not None else self.cell.zero_state(batch)
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            h, c = self.cell.forward(x[:, t, :], (h, c), ctx=cell_ctx)
+            outputs.append(h.reshape(batch, 1, self.hidden_size))
+        return concat(outputs, axis=1), (h, c)

@@ -1,0 +1,186 @@
+"""The LSTM encoder-decoder mobility model.
+
+Given the last ``seq_in`` trajectory points (normalised grid
+coordinates) the model autoregressively emits the next ``seq_out``
+points.  This is the concrete instantiation of Definition 3: the
+meta-learning stack is model-agnostic and treats this network as an
+opaque differentiable function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, _sub_context
+from repro.nn.lstm import LSTMCell
+from repro.nn.module import Module, ParamContext
+from repro.nn.tensor import Tensor, concat
+
+
+class LSTMEncoderDecoder(Module):
+    """Seq2seq trajectory regressor.
+
+    Parameters
+    ----------
+    input_size:
+        Per-step feature size (2 for ``(x, y)`` coordinates).
+    hidden_size:
+        LSTM state width.
+    seq_out:
+        Number of future points to emit.
+    rng:
+        Source of initialisation randomness.
+    """
+
+    def __init__(
+        self,
+        input_size: int = 2,
+        hidden_size: int = 32,
+        seq_out: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if seq_out <= 0:
+            raise ValueError("seq_out must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.seq_out = seq_out
+        self.encoder = LSTMCell(input_size, hidden_size, rng)
+        self.decoder = LSTMCell(input_size, hidden_size, rng)
+        self.head = Linear(hidden_size, input_size, rng, name="head")
+
+    def forward(
+        self,
+        x: Tensor,
+        ctx: ParamContext | None = None,
+        targets: Tensor | None = None,
+    ) -> Tensor:
+        """Predict ``(batch, seq_out, input_size)`` from ``(batch, seq_in, input_size)``.
+
+        When ``targets`` is given, the decoder is teacher-forced with the
+        ground-truth prefix; otherwise it feeds back its own outputs.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got shape {x.shape}")
+        batch, seq_in, _ = x.shape
+        if seq_in < 1:
+            raise ValueError("need at least one input step")
+        enc_ctx = _sub_context(ctx, "encoder.")
+        dec_ctx = _sub_context(ctx, "decoder.")
+        head_ctx = _sub_context(ctx, "head.")
+
+        h, c = self.encoder.zero_state(batch)
+        for t in range(seq_in):
+            h, c = self.encoder.forward(x[:, t, :], (h, c), ctx=enc_ctx)
+
+        # The decoder starts from the last observed point.
+        step_input = x[:, seq_in - 1, :]
+        outputs: list[Tensor] = []
+        for t in range(self.seq_out):
+            h, c = self.decoder.forward(step_input, (h, c), ctx=dec_ctx)
+            # Residual head: predict the displacement from the previous point,
+            # which keeps early-training outputs near the trajectory.
+            delta = self.head.forward(h, ctx=head_ctx)
+            point = step_input + delta
+            outputs.append(point.reshape(batch, 1, self.input_size))
+            if targets is not None and t < self.seq_out - 1:
+                step_input = targets[:, t, :]
+            else:
+                step_input = point
+        return concat(outputs, axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference convenience: numpy in, numpy out, no teacher forcing."""
+        arr = np.asarray(x, dtype=float)
+        squeeze = arr.ndim == 2
+        if squeeze:
+            arr = arr[None, :, :]
+        out = self.forward(Tensor(arr))
+        result = out.numpy()
+        return result[0] if squeeze else result
+
+
+class GRUEncoderDecoder(Module):
+    """GRU variant of the mobility model.
+
+    The architecture the paper's citation [27] actually describes; kept
+    API-compatible with :class:`LSTMEncoderDecoder` so the
+    (model-agnostic) meta-learning stack runs on either.
+    """
+
+    def __init__(
+        self,
+        input_size: int = 2,
+        hidden_size: int = 32,
+        seq_out: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        from repro.nn.gru import GRUCell
+
+        if seq_out <= 0:
+            raise ValueError("seq_out must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.seq_out = seq_out
+        self.encoder = GRUCell(input_size, hidden_size, rng)
+        self.decoder = GRUCell(input_size, hidden_size, rng)
+        self.head = Linear(hidden_size, input_size, rng, name="head")
+
+    def forward(
+        self,
+        x: Tensor,
+        ctx: ParamContext | None = None,
+        targets: Tensor | None = None,
+    ) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got shape {x.shape}")
+        batch, seq_in, _ = x.shape
+        if seq_in < 1:
+            raise ValueError("need at least one input step")
+        enc_ctx = _sub_context(ctx, "encoder.")
+        dec_ctx = _sub_context(ctx, "decoder.")
+        head_ctx = _sub_context(ctx, "head.")
+
+        h = self.encoder.zero_state(batch)
+        for t in range(seq_in):
+            h = self.encoder.forward(x[:, t, :], h, ctx=enc_ctx)
+
+        step_input = x[:, seq_in - 1, :]
+        outputs: list[Tensor] = []
+        for t in range(self.seq_out):
+            h = self.decoder.forward(step_input, h, ctx=dec_ctx)
+            delta = self.head.forward(h, ctx=head_ctx)
+            point = step_input + delta
+            outputs.append(point.reshape(batch, 1, self.input_size))
+            if targets is not None and t < self.seq_out - 1:
+                step_input = targets[:, t, :]
+            else:
+                step_input = point
+        return concat(outputs, axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference convenience: numpy in, numpy out, no teacher forcing."""
+        arr = np.asarray(x, dtype=float)
+        squeeze = arr.ndim == 2
+        if squeeze:
+            arr = arr[None, :, :]
+        result = self.forward(Tensor(arr)).numpy()
+        return result[0] if squeeze else result
+
+
+def make_mobility_model(
+    cell: str,
+    input_size: int = 2,
+    hidden_size: int = 32,
+    seq_out: int = 1,
+    rng: np.random.Generator | None = None,
+) -> Module:
+    """Factory over the two recurrences; ``cell`` is ``"lstm"`` or ``"gru"``."""
+    if cell == "lstm":
+        return LSTMEncoderDecoder(input_size, hidden_size, seq_out, rng)
+    if cell == "gru":
+        return GRUEncoderDecoder(input_size, hidden_size, seq_out, rng)
+    raise ValueError(f"unknown cell '{cell}'; pick 'lstm' or 'gru'")

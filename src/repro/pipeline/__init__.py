@@ -1,0 +1,54 @@
+"""End-to-end TAMP pipeline: offline training, online prediction, experiments."""
+
+from repro.pipeline.config import ExperimentConfig, PredictionConfig, AssignmentConfig
+from repro.pipeline.training import (
+    TrainedPredictor,
+    train_predictor,
+    probe_learning_paths,
+)
+from repro.pipeline.prediction import (
+    PredictiveSnapshotProvider,
+    OracleSnapshotProvider,
+    CurrentLocationSnapshotProvider,
+)
+from repro.pipeline.workloads import (
+    WorkloadSpec,
+    make_workload,
+    make_workload1,
+    make_workload2,
+)
+from repro.pipeline.newcomer import OnboardingResult, onboard_worker
+from repro.pipeline.adaptive import AdaptiveMRSnapshotProvider, MatchingRateTracker
+from repro.pipeline.io import save_predictor, load_predictor
+from repro.pipeline.experiment import (
+    PredictionReport,
+    evaluate_prediction,
+    run_assignment,
+    ASSIGNMENT_ALGORITHMS,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PredictionConfig",
+    "AssignmentConfig",
+    "TrainedPredictor",
+    "train_predictor",
+    "probe_learning_paths",
+    "PredictiveSnapshotProvider",
+    "OracleSnapshotProvider",
+    "CurrentLocationSnapshotProvider",
+    "PredictionReport",
+    "evaluate_prediction",
+    "run_assignment",
+    "ASSIGNMENT_ALGORITHMS",
+    "WorkloadSpec",
+    "make_workload",
+    "make_workload1",
+    "make_workload2",
+    "OnboardingResult",
+    "onboard_worker",
+    "AdaptiveMRSnapshotProvider",
+    "MatchingRateTracker",
+    "save_predictor",
+    "load_predictor",
+]

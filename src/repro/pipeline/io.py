@@ -1,0 +1,120 @@
+"""Saving and loading trained predictors.
+
+The offline stage is the expensive part of TAMP; platforms retrain
+nightly and serve from a snapshot.  A predictor round-trips through a
+single ``.npz`` (all per-worker parameter arrays plus matching rates)
+and a small JSON sidecar (the prediction config and the grid).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.generators import City
+from repro.geo.grid import Grid
+from repro.meta.maml import MAMLConfig
+from repro.pipeline.config import PredictionConfig
+from repro.pipeline.training import TrainedPredictor, make_model_factory
+
+_FORMAT_VERSION = 1
+
+
+def save_predictor(predictor: TrainedPredictor, path: str | Path) -> Path:
+    """Write a predictor snapshot to ``<path>.npz`` + ``<path>.json``.
+
+    Only the serving artefacts are saved (per-worker parameters,
+    matching rates, config, grid); the learning task tree and CTML bank
+    are training-time state and are not persisted.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    for worker_id, params in predictor.worker_params.items():
+        for name, arr in params.items():
+            arrays[f"w{worker_id}::{name}"] = arr
+    arrays["__matching_rates__"] = np.array(
+        [[wid, mr] for wid, mr in sorted(predictor.matching_rates.items())], dtype=float
+    ).reshape(-1, 2)
+    np.savez_compressed(path.with_suffix(".npz"), **arrays)
+
+    cfg = predictor.config
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "algorithm": cfg.algorithm,
+            "loss": cfg.loss,
+            "seq_in": cfg.seq_in,
+            "seq_out": cfg.seq_out,
+            "hidden_size": cfg.hidden_size,
+            "mr_threshold_km": cfg.mr_threshold_km,
+            "seed": cfg.seed,
+            "fine_tune_steps": cfg.fine_tune_steps,
+            "fine_tune_lr": cfg.fine_tune_lr,
+            "fine_tune_optimizer": cfg.fine_tune_optimizer,
+            "maml_iterations": cfg.maml.iterations,
+        },
+        "grid": {
+            "width_km": predictor.city.grid.width_km,
+            "height_km": predictor.city.grid.height_km,
+            "rows": predictor.city.grid.rows,
+            "cols": predictor.city.grid.cols,
+        },
+        "training_seconds": predictor.training_seconds,
+        "loss_name": predictor.loss_name,
+    }
+    path.with_suffix(".json").write_text(json.dumps(meta, indent=2))
+    return path.with_suffix(".npz")
+
+
+def load_predictor(path: str | Path, city: City | None = None) -> TrainedPredictor:
+    """Load a snapshot written by :func:`save_predictor`.
+
+    ``city`` may supply the full POI layer; otherwise a bare city with
+    the persisted grid (sufficient for prediction and assignment, which
+    never read POIs online) is reconstructed.
+    """
+    path = Path(path)
+    meta = json.loads(path.with_suffix(".json").read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported predictor format: {meta.get('format_version')}")
+
+    cfg_meta = meta["config"]
+    config = PredictionConfig(
+        algorithm=cfg_meta["algorithm"],
+        loss=cfg_meta["loss"],
+        seq_in=cfg_meta["seq_in"],
+        seq_out=cfg_meta["seq_out"],
+        hidden_size=cfg_meta["hidden_size"],
+        mr_threshold_km=cfg_meta["mr_threshold_km"],
+        seed=cfg_meta["seed"],
+        fine_tune_steps=cfg_meta["fine_tune_steps"],
+        fine_tune_lr=cfg_meta["fine_tune_lr"],
+        fine_tune_optimizer=cfg_meta["fine_tune_optimizer"],
+        maml=MAMLConfig(iterations=cfg_meta["maml_iterations"]),
+    )
+    if city is None:
+        g = meta["grid"]
+        grid = Grid(width_km=g["width_km"], height_km=g["height_km"], rows=g["rows"], cols=g["cols"])
+        city = City(grid=grid, pois=[], district_centers=np.zeros((0, 2)))
+
+    with np.load(path.with_suffix(".npz")) as data:
+        worker_params: dict[int, dict[str, np.ndarray]] = {}
+        for key in data.files:
+            if key == "__matching_rates__":
+                continue
+            worker_tag, name = key.split("::", 1)
+            worker_id = int(worker_tag[1:])
+            worker_params.setdefault(worker_id, {})[name] = data[key]
+        matching_rates = {int(wid): float(mr) for wid, mr in data["__matching_rates__"]}
+
+    return TrainedPredictor(
+        worker_params=worker_params,
+        matching_rates=matching_rates,
+        model_factory=make_model_factory(config),
+        config=config,
+        city=city,
+        training_seconds=float(meta.get("training_seconds", 0.0)),
+        loss_name=meta.get("loss_name", config.loss),
+    )

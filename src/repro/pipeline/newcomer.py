@@ -1,0 +1,136 @@
+"""Newcomer onboarding: cold-start initialisation for new workers.
+
+The paper's Challenge I: workers join the platform continually, with
+little history.  GTTAML's answer (Section III-B, closing paragraphs)
+is a depth-first post-order traversal of the trained learning task
+tree: the newcomer's model starts from the most similar node's
+initialisation and is then adapted on whatever little data the worker
+has.  The CTML bank and the plain MAML initialisation are supported as
+comparison points so the cold-start benefit is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.generators import City
+from repro.data.windows import build_learning_task
+from repro.geo.trajectory import Trajectory
+from repro.meta.ctml import CTMLModelBank
+from repro.meta.learning_task import LearningTask
+from repro.meta.task_tree import LearningTaskTree
+from repro.meta.taml import place_learning_task
+from repro.pipeline.training import TrainedPredictor, build_loss, fine_tune
+from repro.similarity.distribution import distribution_similarity
+from repro.similarity.spatial import spatial_similarity
+
+
+@dataclass(frozen=True, slots=True)
+class OnboardingResult:
+    """What onboarding produced for one newcomer."""
+
+    worker_id: int
+    source: str  # "tree", "ctml", or "shared"
+    node_level: int | None
+    matching_rate: float
+
+
+def default_newcomer_similarity(a: LearningTask, b: LearningTask) -> float:
+    """Similarity used for tree placement of a newcomer.
+
+    Combines the two factors computable *without* a probe model
+    (distribution and spatial); a brand-new worker has no stable
+    learning path yet.
+    """
+    sim_d = distribution_similarity(
+        a.location_sample, b.location_sample, rng=np.random.default_rng(0)
+    )
+    if len(a.poi_features) and len(b.poi_features):
+        sim_s = spatial_similarity(a.poi_features, b.poi_features)
+        return 0.5 * (sim_d + sim_s)
+    return sim_d
+
+
+def onboard_worker(
+    predictor: TrainedPredictor,
+    worker_id: int,
+    history: Sequence[Trajectory],
+    similarity_fn=default_newcomer_similarity,
+) -> OnboardingResult:
+    """Add a newcomer to a trained predictor, in place.
+
+    Builds the newcomer's learning task from their (typically short)
+    history, selects an initialisation — the most similar tree node for
+    GTTAML variants, the responsibility blend for CTML, the shared
+    initialisation otherwise — adapts it on the newcomer's support set,
+    and registers the adapted parameters and held-out matching rate in
+    the predictor.
+
+    Raises :class:`ValueError` when the history is too short to form a
+    single training window (the platform should fall back to LB-style
+    assignment for such workers).
+    """
+    city: City = predictor.city
+    cfg = predictor.config
+    rng = np.random.default_rng(cfg.seed + worker_id)
+    task = build_learning_task(
+        worker_id, list(history), city, cfg.seq_in, cfg.seq_out, rng
+    )
+    if task is None:
+        raise ValueError(
+            f"worker {worker_id}: history too short for a {cfg.seq_in}+{cfg.seq_out}-point window"
+        )
+
+    theta, source, node_level = _select_initialisation(predictor, task, similarity_fn)
+    model = predictor.model_factory()
+    model.load_state_dict(dict(theta))
+    loss_fn = build_loss(cfg, city, np.zeros((0, 2))) if cfg.loss == "mse" else _reuse_loss(predictor)
+    params = fine_tune(model, task, loss_fn, cfg, rng)
+    predictor.worker_params[worker_id] = params
+
+    from repro.pipeline.training import _held_out_matching_rate
+
+    mr = _held_out_matching_rate(model, params, task, city, cfg)
+    predictor.matching_rates[worker_id] = mr
+    return OnboardingResult(
+        worker_id=worker_id, source=source, node_level=node_level, matching_rate=mr
+    )
+
+
+def _select_initialisation(
+    predictor: TrainedPredictor,
+    task: LearningTask,
+    similarity_fn,
+) -> tuple[Mapping[str, np.ndarray], str, int | None]:
+    tree = predictor.tree
+    if isinstance(tree, LearningTaskTree) and tree.theta is not None:
+        node = place_learning_task(tree, task, similarity_fn)
+        return node.theta, "tree", node.level
+    bank = predictor.bank
+    if isinstance(bank, CTMLModelBank):
+        return bank.init_for(task), "ctml", None
+    # MAML: every trained worker shares the same post-meta initialisation
+    # only implicitly (each has adapted params); fall back to the average.
+    if predictor.worker_params:
+        keys = next(iter(predictor.worker_params.values())).keys()
+        mean = {
+            k: np.mean([p[k] for p in predictor.worker_params.values()], axis=0) for k in keys
+        }
+        return mean, "shared", None
+    return predictor.model_factory().state_dict(), "shared", None
+
+
+def _reuse_loss(predictor: TrainedPredictor):
+    """Rebuild the task-oriented loss from the predictor's city corpus.
+
+    The trained predictor does not retain the historical task corpus;
+    onboarding approximates it with plain MSE when the corpus is gone.
+    Callers needing the exact oriented loss can pass their own via
+    :func:`repro.pipeline.training.build_loss` and ``fine_tune``.
+    """
+    from repro.nn.losses import mse_loss
+
+    return mse_loss

@@ -1,0 +1,108 @@
+"""Workload factories for the two experimental settings.
+
+Workload 1 pairs Porto-like workers with Didi-like tasks; workload 2
+pairs Gowalla-like workers with Foursquare-like tasks (Section IV-A).
+Both return a ready-to-simulate :class:`~repro.data.workload.Workload`
+plus the learning tasks the offline stage trains on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.didi import DidiConfig, generate_didi_tasks, historical_task_locations
+from repro.data.foursquare import (
+    FoursquareConfig,
+    generate_foursquare_tasks,
+    historical_venue_locations,
+)
+from repro.data.gowalla import GowallaConfig, generate_gowalla_workers
+from repro.data.porto import PortoConfig, generate_porto_workers
+from repro.data.windows import build_learning_tasks
+from repro.data.workload import Workload
+from repro.meta.learning_task import LearningTask
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The parameters Table III sweeps, plus scale and seeds."""
+
+    n_workers: int = 16
+    n_tasks: int = 300
+    n_train_days: int = 5
+    detour_km: float = 4.0
+    valid_time_units: tuple[float, float] = (3.0, 4.0)
+    seq_in: int = 5
+    seq_out: int = 1
+    seed: int = 0
+    n_historical_tasks: int = 300
+    extra_worker_kwargs: dict = field(default_factory=dict)
+    extra_task_kwargs: dict = field(default_factory=dict)
+
+
+def make_workload1(spec: WorkloadSpec | None = None) -> tuple[Workload, list[LearningTask]]:
+    """Porto-like workers + Didi-like tasks."""
+    s = spec if spec is not None else WorkloadSpec()
+    worker_cfg = PortoConfig(
+        n_workers=s.n_workers,
+        n_train_days=s.n_train_days,
+        detour_budget_km=s.detour_km,
+        seed=s.seed,
+        **s.extra_worker_kwargs,
+    )
+    city, workers = generate_porto_workers(worker_cfg)
+    task_cfg = DidiConfig(
+        n_tasks=s.n_tasks,
+        day_minutes=worker_cfg.day_minutes,
+        valid_time_units=s.valid_time_units,
+        seed=s.seed + 1,
+        **s.extra_task_kwargs,
+    )
+    tasks = generate_didi_tasks(city, task_cfg)
+    hist = historical_task_locations(city, s.n_historical_tasks, seed=s.seed + 2)
+    workload = Workload("porto-didi", city, workers, tasks, hist)
+    learning = build_learning_tasks(
+        {w.worker_id: w.history for w in workers}, city, s.seq_in, s.seq_out, seed=s.seed + 3
+    )
+    return workload, learning
+
+
+def make_workload2(spec: WorkloadSpec | None = None) -> tuple[Workload, list[LearningTask]]:
+    """Gowalla-like workers + Foursquare-like tasks."""
+    s = spec if spec is not None else WorkloadSpec()
+    worker_cfg = GowallaConfig(
+        n_workers=s.n_workers,
+        n_train_days=s.n_train_days,
+        detour_budget_km=s.detour_km,
+        seed=s.seed + 10,
+        **s.extra_worker_kwargs,
+    )
+    city, workers = generate_gowalla_workers(worker_cfg)
+    task_cfg = FoursquareConfig(
+        n_tasks=s.n_tasks,
+        day_minutes=worker_cfg.day_minutes,
+        valid_time_units=s.valid_time_units,
+        seed=s.seed + 11,
+        **s.extra_task_kwargs,
+    )
+    tasks = generate_foursquare_tasks(city, task_cfg)
+    hist = historical_venue_locations(city, s.n_historical_tasks, seed=s.seed + 12)
+    workload = Workload("gowalla-foursquare", city, workers, tasks, hist)
+    learning = build_learning_tasks(
+        {w.worker_id: w.history for w in workers}, city, s.seq_in, s.seq_out, seed=s.seed + 13
+    )
+    return workload, learning
+
+
+WORKLOADS = {"porto-didi": make_workload1, "gowalla-foursquare": make_workload2}
+
+
+def make_workload(name: str, spec: WorkloadSpec | None = None):
+    """Factory by name; see :data:`WORKLOADS` for the options."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload '{name}'; pick one of {sorted(WORKLOADS)}") from None
+    return builder(spec)

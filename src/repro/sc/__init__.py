@@ -1,0 +1,24 @@
+"""Spatial crowdsourcing domain model and batch simulator.
+
+Implements the system model of Section II: tasks arrive dynamically,
+the platform assigns in batch mode against *predicted* worker mobility,
+and workers accept or reject against their *actual* routines and detour
+budgets.
+"""
+
+from repro.sc.entities import SpatialTask, Worker, WorkerSnapshot
+from repro.sc.acceptance import AcceptanceDecision, evaluate_acceptance
+from repro.sc.platform import BatchPlatform, SimulationResult, BatchRecord
+from repro.sc.metrics import AssignmentMetrics
+
+__all__ = [
+    "SpatialTask",
+    "Worker",
+    "WorkerSnapshot",
+    "AcceptanceDecision",
+    "evaluate_acceptance",
+    "BatchPlatform",
+    "SimulationResult",
+    "BatchRecord",
+    "AssignmentMetrics",
+]

@@ -1,0 +1,94 @@
+"""Worker-side acceptance of an assigned task.
+
+Workers evaluate assignments against their *actual* itinerary
+(Definition 2): the task is accepted iff some way of branching off the
+remaining real routine serves the task location within the detour
+budget ``w.d`` and before the task's deadline.  The detour of branching
+between consecutive routine samples is the insertion cost of
+Appendix A-B; branching at the final sample is an out-and-back trip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.sc.entities import SpatialTask, Worker
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptanceDecision:
+    """Outcome of a worker evaluating one assignment.
+
+    ``detour_km`` and ``arrival_time`` describe the cheapest feasible
+    service option; on rejection ``detour_km`` is the best (still
+    infeasible) detour found, or ``inf`` when the task is unreachable
+    before its deadline from anywhere on the routine.
+    """
+
+    accepted: bool
+    detour_km: float
+    arrival_time: float
+
+
+def evaluate_acceptance(
+    worker: Worker,
+    task: SpatialTask,
+    current_time: float,
+) -> AcceptanceDecision:
+    """Decide acceptance of ``task`` by ``worker`` at ``current_time``.
+
+    Considers every branch point on the remaining real routine (the
+    interpolated current position plus all future samples).  Among the
+    branch options that reach the task before its deadline, the worker
+    picks the one with the smallest detour and accepts iff that detour
+    is within ``w.d``.
+    """
+    routine = worker.routine
+    # Remaining route: current interpolated position, then future samples.
+    future = [p for p in routine if p.time > current_time]
+    here = routine.position_at(current_time)
+    points = [here] + [p.location for p in future]
+    times = [current_time] + [p.time for p in future]
+
+    tloc = np.array([task.location.x, task.location.y])
+    xy = np.array([[p.x, p.y] for p in points])
+    d_to_task = np.sqrt(((xy - tloc) ** 2).sum(axis=1))
+    arrival = np.asarray(times) + d_to_task / worker.speed_km_per_min
+    reachable = arrival <= task.deadline
+
+    best_detour = math.inf
+    best_arrival = math.inf
+    for k in range(len(points)):
+        if not reachable[k]:
+            continue
+        if k + 1 < len(points):
+            seg = float(np.sqrt(((xy[k] - xy[k + 1]) ** 2).sum()))
+            detour = float(d_to_task[k]) + float(
+                np.sqrt(((tloc - xy[k + 1]) ** 2).sum())
+            ) - seg
+        else:
+            detour = 2.0 * float(d_to_task[k])
+        detour = max(detour, 0.0)
+        if detour < best_detour:
+            best_detour = detour
+            best_arrival = float(arrival[k])
+
+    accepted = best_detour <= worker.detour_budget_km
+    return AcceptanceDecision(accepted=accepted, detour_km=best_detour, arrival_time=best_arrival)
+
+
+def oracle_future_route(worker: Worker, current_time: float, horizon: int) -> tuple[np.ndarray, np.ndarray]:
+    """The worker's true next ``horizon`` route samples (for the UB oracle).
+
+    Returns ``(xy, times)``; includes the interpolated current position
+    as the first entry so the oracle always has at least one point.
+    """
+    here: Point = worker.routine.position_at(current_time)
+    future = worker.routine.future_points(current_time, horizon)
+    xy = np.array([[here.x, here.y]] + [[p.location.x, p.location.y] for p in future])
+    times = np.array([current_time] + [p.time for p in future])
+    return xy, times

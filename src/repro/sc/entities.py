@@ -1,0 +1,121 @@
+"""Domain entities: spatial tasks, crowd workers, and the platform's view.
+
+Definitions 1-2 of the paper.  :class:`Worker` holds ground truth (the
+actual routine, hidden from the platform); :class:`WorkerSnapshot` is
+what the platform sees in one assignment batch — current location,
+predicted future points, and the worker's mobility-model matching rate.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.geo.trajectory import Trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class SpatialTask:
+    """Definition 1: a target location with a deadline.
+
+    ``release_time`` is when the task reaches the platform; it becomes
+    assignable in the first batch window at or after that time and
+    expires at ``deadline`` (both in minutes).
+    """
+
+    task_id: int
+    location: Point
+    release_time: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.deadline <= self.release_time:
+            raise ValueError(f"task {self.task_id}: deadline must follow release")
+
+    @property
+    def valid_minutes(self) -> float:
+        return self.deadline - self.release_time
+
+
+@dataclass(slots=True)
+class Worker:
+    """Definition 2: a crowd worker with a hidden daily routine.
+
+    The platform never reads ``routine`` directly — only the worker's
+    current location (shared while online) and whatever the mobility
+    model predicts.  ``detour_budget_km`` is ``w.d``; the worker accepts
+    a task only if serving it detours them by at most this much.
+    """
+
+    worker_id: int
+    routine: Trajectory
+    detour_budget_km: float
+    speed_km_per_min: float
+    history: list[Trajectory] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.detour_budget_km < 0:
+            raise ValueError("detour budget must be non-negative")
+        if self.speed_km_per_min <= 0:
+            raise ValueError("speed must be positive")
+
+    def location_at(self, t: float) -> Point:
+        """Ground-truth position at time ``t`` (worker-side knowledge;
+        the platform sees only :meth:`last_shared_location`)."""
+        return self.routine.position_at(t)
+
+    def last_shared_location(self, t: float) -> Point:
+        """The most recent location sample the worker shared with the
+        platform (Section II: workers "merely share their current
+        location" when reporting — between reports the platform's view
+        is stale by up to one sample step)."""
+        times = self.routine.times
+        idx = bisect.bisect_right(times, t) - 1
+        idx = max(idx, 0)
+        return self.routine[idx].location
+
+    def online_at(self, t: float) -> bool:
+        """Workers are online during their routine's time span."""
+        return self.routine.start_time <= t <= self.routine.end_time
+
+
+@dataclass(slots=True)
+class WorkerSnapshot:
+    """The platform's per-batch view of one worker.
+
+    Attributes
+    ----------
+    worker_id:
+        Identity, matching :attr:`Worker.worker_id`.
+    current_location:
+        The location the worker shared at batch time.
+    predicted_xy / predicted_times:
+        The mobility model's forecast ``w.r^`` — ``(n, 2)`` planar
+        points and their timestamps.
+    detour_budget_km:
+        ``w.d`` (declared to the platform on registration).
+    speed_km_per_min:
+        Worker speed ``sp`` used for deadline feasibility.
+    matching_rate:
+        The worker's model performance ``MR`` (Def. 7), estimated
+        offline on validation data.
+    """
+
+    worker_id: int
+    current_location: Point
+    predicted_xy: np.ndarray
+    predicted_times: np.ndarray
+    detour_budget_km: float
+    speed_km_per_min: float
+    matching_rate: float
+
+    def __post_init__(self) -> None:
+        self.predicted_xy = np.asarray(self.predicted_xy, dtype=float).reshape(-1, 2)
+        self.predicted_times = np.asarray(self.predicted_times, dtype=float).ravel()
+        if len(self.predicted_xy) != len(self.predicted_times):
+            raise ValueError("predicted points and times must align")
+        if not 0.0 <= self.matching_rate <= 1.0:
+            raise ValueError("matching rate must lie in [0, 1]")

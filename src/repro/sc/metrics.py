@@ -1,0 +1,63 @@
+"""Assignment quality metrics (Section IV-A, Evaluation Metrics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentMetrics:
+    """The four task-assignment metrics the paper reports.
+
+    Attributes
+    ----------
+    completion_ratio:
+        Completed tasks / total tasks.
+    rejection_ratio:
+        Rejected assignments / total assignments (0 when nothing was
+        assigned).
+    worker_cost_km:
+        Mean real detour of *completed* tasks, in km.
+    running_seconds:
+        Wall-clock time spent inside the assignment algorithm (not the
+        simulator).
+    """
+
+    completion_ratio: float
+    rejection_ratio: float
+    worker_cost_km: float
+    running_seconds: float
+
+    @staticmethod
+    def compute(
+        n_tasks: int,
+        n_completed: int,
+        n_assignments: int,
+        n_rejections: int,
+        detours_km: list[float],
+        running_seconds: float,
+    ) -> "AssignmentMetrics":
+        if n_tasks < 0 or n_completed < 0 or n_assignments < 0 or n_rejections < 0:
+            raise ValueError("counts must be non-negative")
+        if n_completed > n_tasks:
+            raise ValueError("cannot complete more tasks than exist")
+        if n_rejections > n_assignments:
+            raise ValueError("cannot reject more assignments than were made")
+        completion = n_completed / n_tasks if n_tasks else 0.0
+        rejection = n_rejections / n_assignments if n_assignments else 0.0
+        cost = sum(detours_km) / len(detours_km) if detours_km else 0.0
+        return AssignmentMetrics(
+            completion_ratio=completion,
+            rejection_ratio=rejection,
+            worker_cost_km=cost,
+            running_seconds=running_seconds,
+        )
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for report tables."""
+        return {
+            "completion_ratio": self.completion_ratio,
+            "rejection_ratio": self.rejection_ratio,
+            "worker_cost_km": self.worker_cost_km,
+            "running_seconds": self.running_seconds,
+        }

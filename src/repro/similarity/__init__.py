@@ -1,0 +1,42 @@
+"""Similarity measures between learning tasks (Section III-B).
+
+GTMC clusters learning tasks by three factors, each with its own
+similarity function:
+
+* ``Sim_s`` — spatial features via kernel density over POI sequences
+  (Eq. 1);
+* ``Sim_l`` — learning paths via average cosine similarity of k-step
+  gradients (Eq. 2);
+* ``Sim_d`` — data distributions via Wasserstein distance (Eq. 3).
+
+:mod:`repro.similarity.quality` turns any of them into the cluster
+quality ``Q(G)`` of Eq. 4.
+"""
+
+from repro.similarity.spatial import spatial_similarity, gaussian_poi_kernel
+from repro.similarity.learning_path import learning_path_similarity, cosine
+from repro.similarity.distribution import (
+    wasserstein_1d,
+    wasserstein_exact_2d,
+    sliced_wasserstein,
+    distribution_similarity,
+)
+from repro.similarity.quality import (
+    similarity_matrix,
+    normalize_similarity_matrix,
+    SimilarityFunction,
+)
+
+__all__ = [
+    "spatial_similarity",
+    "gaussian_poi_kernel",
+    "learning_path_similarity",
+    "cosine",
+    "wasserstein_1d",
+    "wasserstein_exact_2d",
+    "sliced_wasserstein",
+    "distribution_similarity",
+    "similarity_matrix",
+    "normalize_similarity_matrix",
+    "SimilarityFunction",
+]

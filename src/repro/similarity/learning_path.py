@@ -1,0 +1,51 @@
+"""Learning-path similarity ``Sim_l`` (Eq. 2).
+
+A learning task's *learning path* is the sequence of gradients taken
+during the first ``k`` adaptation steps of a meta-learner on that task
+(Section III-B).  Two tasks are similar when, step for step, their
+gradients point the same way:
+
+    Sim_l(a, b) = (1/k) * sum_i cos(z_i^(a), z_i^(b))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine(u: np.ndarray, v: np.ndarray) -> float:
+    """Cosine similarity of two flat vectors; 0 when either is zero."""
+    u = np.asarray(u, dtype=float).ravel()
+    v = np.asarray(v, dtype=float).ravel()
+    if u.shape != v.shape:
+        raise ValueError(f"vector shapes differ: {u.shape} vs {v.shape}")
+    nu = float(np.linalg.norm(u))
+    nv = float(np.linalg.norm(v))
+    if nu == 0.0 or nv == 0.0:
+        return 0.0
+    return float(np.dot(u, v) / (nu * nv))
+
+
+def learning_path_similarity(path_a: np.ndarray, path_b: np.ndarray) -> float:
+    """Mean per-step cosine similarity of two gradient paths.
+
+    Parameters
+    ----------
+    path_a, path_b:
+        ``(k, p)`` arrays of the k-step gradients ``Z^(i)`` (one flat
+        gradient vector per adaptation step).  Paths shorter than each
+        other are compared over the common prefix.
+
+    Returns a value in ``[-1, 1]``; callers that need ``[0, 1]`` (the
+    cluster-quality scale) should pass the result through
+    :func:`repro.similarity.quality.normalize_similarity_matrix` or map
+    with ``(s + 1) / 2``.
+    """
+    a = np.atleast_2d(np.asarray(path_a, dtype=float))
+    b = np.atleast_2d(np.asarray(path_b, dtype=float))
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(f"gradient dimensionality differs: {a.shape[1]} vs {b.shape[1]}")
+    k = min(len(a), len(b))
+    if k == 0:
+        return 0.0
+    return float(np.mean([cosine(a[i], b[i]) for i in range(k)]))

@@ -1,0 +1,70 @@
+"""Pairwise similarity matrices and normalisation (the ``Norm`` of Eq. 1).
+
+GTMC consumes an ``(n, n)`` similarity matrix per clustering factor.
+This module builds one from any pairwise similarity callable and
+rescales it into ``[0, 1]`` so cluster quality (Eq. 4) is comparable
+against the singleton utility ``gamma``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+SimilarityFunction = Callable[[T, T], float]
+
+
+def similarity_matrix(
+    items: Sequence[T],
+    sim_fn: SimilarityFunction,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Symmetric pairwise similarity matrix over ``items``.
+
+    ``sim_fn`` is evaluated once per unordered pair; the diagonal is
+    fixed at the matrix maximum (an item is maximally similar to
+    itself) before optional normalisation.
+    """
+    n = len(items)
+    sim = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = float(sim_fn(items[i], items[j]))
+            sim[i, j] = value
+            sim[j, i] = value
+    if n:
+        off_max = sim.max() if n > 1 else 1.0
+        np.fill_diagonal(sim, max(off_max, 1.0) if not normalize else off_max)
+    if normalize:
+        sim = normalize_similarity_matrix(sim)
+    return sim
+
+
+def normalize_similarity_matrix(sim: np.ndarray) -> np.ndarray:
+    """Min-max rescale a similarity matrix into ``[0, 1]``.
+
+    The diagonal is excluded from the statistics (self-similarity is
+    definitional, not evidence) and then set to 1.  A constant matrix
+    maps to all-ones: indistinguishable items are all alike.
+    """
+    sim = np.asarray(sim, dtype=float)
+    if sim.ndim != 2 or sim.shape[0] != sim.shape[1]:
+        raise ValueError(f"similarity matrix must be square, got {sim.shape}")
+    n = len(sim)
+    if n <= 1:
+        out = np.ones_like(sim)
+        return out
+    mask = ~np.eye(n, dtype=bool)
+    values = sim[mask]
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-12:
+        out = np.ones_like(sim)
+        return out
+    out = (sim - lo) / (hi - lo)
+    out = np.clip(out, 0.0, 1.0)
+    np.fill_diagonal(out, 1.0)
+    # Re-symmetrise against floating point drift.
+    return (out + out.T) / 2.0

@@ -1,0 +1,71 @@
+"""Shared fixtures: a small city, workers, tasks, and learning tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DidiConfig,
+    PortoConfig,
+    build_learning_tasks,
+    generate_didi_tasks,
+    generate_porto_workers,
+)
+from repro.data.didi import historical_task_locations
+from repro.data.workload import Workload
+from repro.geo.grid import Grid
+from repro.geo.point import Point
+from repro.geo.trajectory import Trajectory, TrajectoryPoint
+
+
+@pytest.fixture(scope="session")
+def small_city_and_workers():
+    city, workers = generate_porto_workers(PortoConfig(n_workers=8, n_train_days=4, seed=3))
+    return city, workers
+
+
+@pytest.fixture(scope="session")
+def small_workload(small_city_and_workers):
+    city, workers = small_city_and_workers
+    tasks = generate_didi_tasks(city, DidiConfig(n_tasks=40, seed=5))
+    hist = historical_task_locations(city, 150, seed=6)
+    return Workload("porto-didi", city, workers, tasks, hist)
+
+
+@pytest.fixture(scope="session")
+def learning_tasks(small_city_and_workers):
+    city, workers = small_city_and_workers
+    return build_learning_tasks(
+        {w.worker_id: w.history for w in workers}, city, seq_in=4, seq_out=1, seed=7
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def unit_grid():
+    return Grid(width_km=10.0, height_km=10.0, rows=10, cols=10)
+
+
+def straight_trajectory(
+    start: tuple[float, float] = (0.0, 0.0),
+    end: tuple[float, float] = (10.0, 0.0),
+    t0: float = 0.0,
+    t1: float = 100.0,
+    n: int = 11,
+) -> Trajectory:
+    xs = np.linspace(start[0], end[0], n)
+    ys = np.linspace(start[1], end[1], n)
+    ts = np.linspace(t0, t1, n)
+    return Trajectory(
+        TrajectoryPoint(Point(float(x), float(y)), float(t)) for x, y, t in zip(xs, ys, ts)
+    )
+
+
+@pytest.fixture
+def line_trajectory():
+    return straight_trajectory()

@@ -1,0 +1,104 @@
+"""Property tests for the acceptance model — the simulator's ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.point import Point
+from repro.geo.trajectory import Trajectory, TrajectoryPoint
+from repro.sc.acceptance import evaluate_acceptance, oracle_future_route
+from repro.sc.entities import SpatialTask, Worker
+
+
+@st.composite
+def random_worker(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 100_000)))
+    n = draw(st.integers(2, 8))
+    xy = rng.uniform(0, 10, size=(n, 2))
+    times = np.sort(rng.uniform(0, 100, size=n))
+    times += np.arange(n) * 1e-3  # strict monotonicity
+    return Worker(
+        worker_id=0,
+        routine=Trajectory(
+            TrajectoryPoint(Point(float(x), float(y)), float(t)) for (x, y), t in zip(xy, times)
+        ),
+        detour_budget_km=float(draw(st.floats(0.5, 8.0))),
+        speed_km_per_min=float(draw(st.floats(0.2, 1.5))),
+    )
+
+
+@st.composite
+def random_task(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 100_000)))
+    release = float(draw(st.floats(0.0, 50.0)))
+    return SpatialTask(
+        task_id=0,
+        location=Point(*rng.uniform(0, 10, size=2)),
+        release_time=release,
+        deadline=release + float(draw(st.floats(5.0, 60.0))),
+    )
+
+
+class TestAcceptanceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(worker=random_worker(), task=random_task(), t_frac=st.floats(0, 1))
+    def test_accepted_implies_constraints_met(self, worker, task, t_frac):
+        """Definition 2's contract: acceptance ⇒ detour within budget and
+        arrival before the deadline."""
+        t = worker.routine.start_time + t_frac * worker.routine.duration()
+        decision = evaluate_acceptance(worker, task, t)
+        if decision.accepted:
+            assert decision.detour_km <= worker.detour_budget_km + 1e-9
+            assert decision.arrival_time <= task.deadline + 1e-9
+            assert decision.arrival_time >= t - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(worker=random_worker(), task=random_task())
+    def test_bigger_budget_never_flips_to_reject(self, worker, task):
+        """Acceptance is monotone in the detour budget."""
+        t = worker.routine.start_time
+        small = evaluate_acceptance(worker, task, t)
+        bigger = Worker(
+            worker_id=1,
+            routine=worker.routine,
+            detour_budget_km=worker.detour_budget_km * 2 + 1.0,
+            speed_km_per_min=worker.speed_km_per_min,
+        )
+        big = evaluate_acceptance(bigger, task, t)
+        if small.accepted:
+            assert big.accepted
+
+    @settings(max_examples=40, deadline=None)
+    @given(worker=random_worker(), task=random_task())
+    def test_detour_is_best_feasible_option(self, worker, task):
+        """The decision's detour equals the brute-force minimum over all
+        deadline-feasible branch options."""
+        t = worker.routine.start_time
+        decision = evaluate_acceptance(worker, task, t)
+        here = worker.routine.position_at(t)
+        future = [p for p in worker.routine if p.time > t]
+        points = [(here, t)] + [(p.location, p.time) for p in future]
+        best = np.inf
+        for k, (loc, when) in enumerate(points):
+            dist = loc.distance_to(task.location)
+            if when + dist / worker.speed_km_per_min > task.deadline:
+                continue
+            if k + 1 < len(points):
+                nxt = points[k + 1][0]
+                detour = dist + task.location.distance_to(nxt) - loc.distance_to(nxt)
+            else:
+                detour = 2 * dist
+            best = min(best, max(detour, 0.0))
+        if np.isfinite(best):
+            assert decision.detour_km == pytest.approx(best, abs=1e-9)
+        else:
+            assert not decision.accepted
+
+    @settings(max_examples=40, deadline=None)
+    @given(worker=random_worker(), horizon=st.integers(1, 6), t_frac=st.floats(0, 1))
+    def test_oracle_route_is_causal_and_bounded(self, worker, horizon, t_frac):
+        t = worker.routine.start_time + t_frac * worker.routine.duration()
+        xy, times = oracle_future_route(worker, t, horizon)
+        assert 1 <= len(xy) <= horizon + 1
+        assert times[0] == pytest.approx(t)
+        assert all(b > a for a, b in zip(times, times[1:]))

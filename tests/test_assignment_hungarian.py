@@ -1,0 +1,152 @@
+"""Tests for the from-scratch Kuhn-Munkres solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.assignment.hungarian import (
+    Edge,
+    assignment_cost,
+    maximum_weight_matching,
+    solve_assignment,
+)
+
+
+class TestSolveAssignment:
+    def test_trivial_1x1(self):
+        rows, cols = solve_assignment(np.array([[5.0]]))
+        assert list(rows) == [0] and list(cols) == [0]
+
+    def test_identity_optimal(self):
+        cost = np.array([[0.0, 9.0], [9.0, 0.0]])
+        rows, cols = solve_assignment(cost)
+        assert assignment_cost(cost, rows, cols) == 0.0
+
+    def test_maximize(self):
+        cost = np.array([[1.0, 5.0], [5.0, 1.0]])
+        rows, cols = solve_assignment(cost, maximize=True)
+        assert assignment_cost(cost, rows, cols) == 10.0
+
+    def test_rectangular_wide(self):
+        cost = np.array([[9.0, 1.0, 9.0]])
+        rows, cols = solve_assignment(cost)
+        assert list(cols) == [1]
+
+    def test_rectangular_tall(self):
+        cost = np.array([[9.0], [1.0], [9.0]])
+        rows, cols = solve_assignment(cost)
+        assert list(rows) == [1]
+        assert list(cols) == [0]
+
+    def test_matching_is_injective(self):
+        rng = np.random.default_rng(0)
+        cost = rng.normal(size=(8, 12))
+        rows, cols = solve_assignment(cost)
+        assert len(set(rows)) == len(rows) == 8
+        assert len(set(cols)) == len(cols)
+
+    def test_empty_matrix(self):
+        rows, cols = solve_assignment(np.zeros((0, 5)))
+        assert len(rows) == 0
+
+    def test_rejects_nan_inf(self):
+        with pytest.raises(ValueError):
+            solve_assignment(np.array([[np.inf, 1.0]]))
+        with pytest.raises(ValueError):
+            solve_assignment(np.array([[np.nan]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            solve_assignment(np.zeros(3))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 10),
+        m=st.integers(1, 10),
+        seed=st.integers(0, 100_000),
+        maximize=st.booleans(),
+    )
+    def test_property_matches_scipy(self, n, m, seed, maximize):
+        rng = np.random.default_rng(seed)
+        cost = rng.normal(size=(n, m)) * rng.uniform(0.1, 20)
+        r1, c1 = solve_assignment(cost, maximize=maximize)
+        r2, c2 = linear_sum_assignment(cost, maximize=maximize)
+        assert cost[r1, c1].sum() == pytest.approx(cost[r2, c2].sum())
+
+    def test_degenerate_equal_costs(self):
+        cost = np.ones((4, 4))
+        rows, cols = solve_assignment(cost)
+        assert assignment_cost(cost, rows, cols) == 4.0
+
+
+class TestMaximumWeightMatching:
+    def test_empty(self):
+        assert maximum_weight_matching([]) == []
+
+    def test_prefers_total_weight_over_greedy(self):
+        # Greedy would take (0,0,6); optimal takes (0,1,6)+(1,0,6).
+        edges = [(0, 0, 6.0), (0, 1, 6.0), (1, 0, 6.0)]
+        chosen = maximum_weight_matching(edges)
+        total = sum(w for _, _, w in chosen)
+        assert total == 12.0
+
+    def test_respects_matching_constraints(self):
+        rng = np.random.default_rng(1)
+        edges = [
+            (int(rng.integers(5)), int(rng.integers(7)), float(rng.uniform(0.1, 1)))
+            for _ in range(30)
+        ]
+        chosen = maximum_weight_matching(edges)
+        lefts = [l for l, _, _ in chosen]
+        rights = [r for _, r, _ in chosen]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_only_existing_edges_returned(self):
+        edges = [(0, 0, 1.0), (1, 1, 1.0)]
+        chosen = maximum_weight_matching(edges)
+        assert set((l, r) for l, r, _ in chosen) == {(0, 0), (1, 1)}
+
+    def test_sparse_ids_supported(self):
+        edges = [(1000, 77, 2.0), (2000, 88, 3.0)]
+        chosen = maximum_weight_matching(edges)
+        assert {(l, r) for l, r, _ in chosen} == {(1000, 77), (2000, 88)}
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            maximum_weight_matching([(0, 0, -1.0)])
+
+    def test_accepts_edge_dataclass(self):
+        chosen = maximum_weight_matching([Edge(0, 0, 1.5)])
+        assert chosen == [(0, 0, 1.5)]
+
+    def test_duplicate_edges_keep_best(self):
+        chosen = maximum_weight_matching([(0, 0, 1.0), (0, 0, 3.0)])
+        assert chosen == [(0, 0, 3.0)]
+
+    def test_zero_weight_dropped_by_default(self):
+        assert maximum_weight_matching([(0, 0, 0.0)]) == []
+        assert maximum_weight_matching([(0, 0, 0.0)], allow_zero_weight=True) == [(0, 0, 0.0)]
+
+    def test_matches_networkx_on_random_graphs(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            edges = [
+                (int(l), int(r), float(rng.uniform(0.1, 5)))
+                for l in range(rng.integers(1, 6))
+                for r in range(rng.integers(1, 6))
+                if rng.random() < 0.7
+            ]
+            if not edges:
+                continue
+            ours = sum(w for _, _, w in maximum_weight_matching(edges))
+            g = nx.Graph()
+            for l, r, w in edges:
+                key = (("L", l), ("R", r))
+                if not g.has_edge(*key) or g.edges[key]["weight"] < w:
+                    g.add_edge(*key, weight=w)
+            theirs = sum(g.edges[e]["weight"] for e in nx.max_weight_matching(g))
+            assert ours == pytest.approx(theirs)

@@ -1,0 +1,146 @@
+"""Tests for matching rate (Def. 7) and Theorem 2 machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.assignment.matching_rate import (
+    completion_probability,
+    completion_radius,
+    feasible_prediction_points,
+    matching_rate,
+    theorem2_bound,
+)
+
+
+class TestMatchingRate:
+    def test_perfect_prediction(self, rng):
+        r = rng.normal(size=(10, 2))
+        assert matching_rate(r, r, a=0.0) == 1.0
+
+    def test_all_misses(self, rng):
+        r = rng.normal(size=(10, 2))
+        assert matching_rate(r, r + 100.0, a=1.0) == 0.0
+
+    def test_partial(self):
+        real = np.zeros((4, 2))
+        pred = np.array([[0.0, 0.0], [0.5, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        assert matching_rate(real, pred, a=1.0) == pytest.approx(0.5)
+
+    def test_threshold_inclusive(self):
+        real = np.zeros((1, 2))
+        pred = np.array([[1.0, 0.0]])
+        assert matching_rate(real, pred, a=1.0) == 1.0
+
+    def test_empty_routine(self):
+        assert matching_rate(np.zeros((0, 2)), np.zeros((0, 2)), a=1.0) == 0.0
+
+    def test_validates(self, rng):
+        with pytest.raises(ValueError):
+            matching_rate(np.zeros((2, 2)), np.zeros((3, 2)), a=1.0)
+        with pytest.raises(ValueError):
+            matching_rate(np.zeros((2, 2)), np.zeros((2, 2)), a=-1.0)
+
+    @given(a=st.floats(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_threshold(self, a):
+        rng = np.random.default_rng(0)
+        real = rng.normal(size=(20, 2))
+        pred = real + rng.normal(0, 2, size=(20, 2))
+        assert matching_rate(real, pred, a) <= matching_rate(real, pred, a + 1.0)
+
+
+class TestTheorem2Bound:
+    def test_detour_binds(self):
+        # d/2 = 2 < d^t = 50
+        assert theorem2_bound(4.0, deadline=100.0, current_time=0.0, speed_km_per_min=0.5) == 2.0
+
+    def test_deadline_binds(self):
+        # d^t = 0.5 * 2 = 1 < d/2 = 5
+        assert theorem2_bound(10.0, deadline=2.0, current_time=0.0, speed_km_per_min=0.5) == 1.0
+
+    def test_expired_task_negative(self):
+        assert theorem2_bound(10.0, deadline=0.0, current_time=5.0, speed_km_per_min=1.0) < 0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            theorem2_bound(-1.0, 10.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            theorem2_bound(1.0, 10.0, 0.0, 0.0)
+
+
+class TestFeasiblePredictionPoints:
+    def test_collects_within_bound(self):
+        pred = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]])
+        b = feasible_prediction_points(pred, np.array([0.0, 0.0]), a=0.5, bound=2.0)
+        assert len(b) == 2  # distances 0 and 1 pass (0+0.5<=2, 1+0.5<=2); 5 fails
+        assert b.min() == 0.0
+
+    def test_empty_when_all_far(self):
+        pred = np.array([[10.0, 10.0]])
+        b = feasible_prediction_points(pred, np.array([0.0, 0.0]), a=0.5, bound=2.0)
+        assert len(b) == 0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            feasible_prediction_points(np.zeros((2, 2)), np.zeros(3), 0.5, 1.0)
+        with pytest.raises(ValueError):
+            feasible_prediction_points(np.zeros((2, 2)), np.zeros(2), -0.5, 1.0)
+
+
+class TestCompletionHelpers:
+    def test_completion_radius(self):
+        assert completion_radius(2.0, 0.5) == 1.5
+        assert completion_radius(0.5, 2.0) == 0.0
+
+    def test_completion_probability(self):
+        assert completion_probability(0, 0.5) == 0.0
+        assert completion_probability(1, 0.5) == 0.5
+        assert completion_probability(2, 0.5) == pytest.approx(0.75)
+
+    def test_completion_probability_validates(self):
+        with pytest.raises(ValueError):
+            completion_probability(-1, 0.5)
+        with pytest.raises(ValueError):
+            completion_probability(1, 1.5)
+
+    @given(b=st.integers(0, 20), mr=st.floats(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_probability_in_unit_interval(self, b, mr):
+        p = completion_probability(b, mr)
+        assert 0.0 <= p <= 1.0
+
+
+class TestTheorem2EndToEnd:
+    """Theorem 2's claim exercised: when prediction error <= a and the
+    task is within b of a predicted point with a + b <= min(d/2, d^t),
+    the real detour and deadline constraints hold."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_feasibility_implies_real_constraints(self, seed):
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(2, 8)
+        speed = rng.uniform(0.3, 1.0)
+        deadline = rng.uniform(20, 60)
+        t_now = 0.0
+        a = rng.uniform(0.1, 0.5)
+
+        real_point = rng.uniform(0, 10, size=2)
+        # Prediction within a of the real location.
+        angle = rng.uniform(0, 2 * np.pi)
+        pred_point = real_point + a * rng.uniform(0, 1) * np.array([np.cos(angle), np.sin(angle)])
+
+        bound = theorem2_bound(d, deadline, t_now, speed)
+        if bound <= a:
+            return  # no feasible b exists; nothing to check
+        # Task within b of the predicted point, with a + b <= bound.
+        b = rng.uniform(0, bound - a)
+        angle2 = rng.uniform(0, 2 * np.pi)
+        task = pred_point + b * np.array([np.cos(angle2), np.sin(angle2)])
+
+        dist_real = float(np.linalg.norm(task - real_point))
+        # Detour: out-and-back from the real location is within d.
+        assert 2 * dist_real <= d + 1e-9
+        # Deadline: reachable from the real location in time.
+        assert t_now + dist_real / speed <= deadline + 1e-9

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_predict_defaults(self):
+        args = build_parser().parse_args(["predict"])
+        assert args.algorithm == "gttaml"
+        assert args.workload == "porto-didi"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "--algorithm", "nope"])
+
+    def test_assign_flags(self):
+        args = build_parser().parse_args(
+            ["assign", "--algorithm", "ub", "--n-tasks", "50", "--detour", "6"]
+        )
+        assert args.algorithm == "ub"
+        assert args.n_tasks == 50
+        assert args.detour == 6.0
+
+
+class TestCommands:
+    def test_predict_runs(self, capsys):
+        code = main([
+            "predict", "--algorithm", "maml", "--n-workers", "5",
+            "--n-tasks", "20", "--n-train-days", "2", "--iterations", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RMSE" in out and "MR" in out
+
+    def test_assign_lb_runs_without_training(self, capsys):
+        code = main([
+            "assign", "--algorithm", "lb", "--n-workers", "5",
+            "--n-tasks", "30", "--n-train-days", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completion_ratio" in out
+
+    def test_assign_predictive_runs(self, capsys):
+        code = main([
+            "assign", "--algorithm", "km", "--n-workers", "5",
+            "--n-tasks", "30", "--n-train-days", "2", "--iterations", "2",
+        ])
+        assert code == 0
+        assert "completion_ratio" in capsys.readouterr().out
+
+    def test_gowalla_workload(self, capsys):
+        code = main([
+            "assign", "--algorithm", "ub", "--workload", "gowalla-foursquare",
+            "--n-workers", "5", "--n-tasks", "30", "--n-train-days", "2",
+        ])
+        assert code == 0

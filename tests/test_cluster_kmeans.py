@@ -1,0 +1,128 @@
+"""Tests for k-means, k-medoids, and soft k-means."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import kmeans, kmedoids, soft_kmeans
+
+
+@pytest.fixture
+def three_blobs(rng):
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    pts = np.concatenate([rng.normal(c, 0.5, size=(30, 2)) for c in centers])
+    labels = np.repeat([0, 1, 2], 30)
+    return pts, labels
+
+
+def agreement(found, truth):
+    """Best-case label agreement (clusters are permutation-invariant)."""
+    from itertools import permutations
+
+    best = 0.0
+    k = int(found.max()) + 1
+    for perm in permutations(range(k)):
+        mapped = np.array([perm[v] if v < len(perm) else v for v in found])
+        best = max(best, float((mapped == truth).mean()))
+    return best
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, three_blobs):
+        pts, truth = three_blobs
+        result = kmeans(pts, 3, rng=np.random.default_rng(0))
+        assert agreement(result.labels, truth) > 0.95
+
+    def test_inertia_monotone(self, three_blobs):
+        pts, _ = three_blobs
+        result = kmeans(pts, 3, rng=np.random.default_rng(0))
+        assert all(a >= b - 1e-9 for a, b in zip(result.history, result.history[1:]))
+
+    def test_k_clamped_to_n(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = kmeans(pts, 10)
+        assert result.centers.shape[0] == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 0)
+
+    def test_identical_points(self):
+        pts = np.ones((10, 2))
+        result = kmeans(pts, 3)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 2)
+
+
+class TestKMedoids:
+    def _dist(self, pts):
+        diff = pts[:, None, :] - pts[None, :, :]
+        return np.sqrt((diff**2).sum(axis=2))
+
+    def test_recovers_blobs(self, three_blobs):
+        pts, truth = three_blobs
+        result = kmedoids(self._dist(pts), 3, rng=np.random.default_rng(0))
+        assert agreement(result.labels, truth) > 0.95
+
+    def test_medoids_are_data_indices(self, three_blobs):
+        pts, _ = three_blobs
+        result = kmedoids(self._dist(pts), 3)
+        assert all(0 <= m < len(pts) for m in result.medoids)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            kmedoids(np.zeros((3, 4)), 2)
+
+    def test_rejects_negative_distances(self):
+        d = np.zeros((3, 3))
+        d[0, 1] = -1
+        with pytest.raises(ValueError):
+            kmedoids(d, 2)
+
+    def test_single_cluster(self):
+        pts = np.random.default_rng(0).normal(size=(10, 2))
+        result = kmedoids(self._dist(pts), 1)
+        assert len(set(result.labels)) == 1
+
+    def test_cost_is_total_distance_to_medoid(self, three_blobs):
+        pts, _ = three_blobs
+        d = self._dist(pts)
+        result = kmedoids(d, 3)
+        expected = d[np.arange(len(pts)), result.medoids[result.labels]].sum()
+        assert result.cost == pytest.approx(expected)
+
+
+class TestSoftKMeans:
+    def test_responsibilities_sum_to_one(self, three_blobs):
+        pts, _ = three_blobs
+        result = soft_kmeans(pts, 3, rng=np.random.default_rng(0))
+        assert np.allclose(result.responsibilities.sum(axis=1), 1.0)
+
+    def test_hard_labels_recover_blobs(self, three_blobs):
+        pts, truth = three_blobs
+        result = soft_kmeans(pts, 3, beta=10.0, rng=np.random.default_rng(0))
+        assert agreement(result.labels, truth) > 0.9
+
+    def test_high_beta_approaches_hard(self, three_blobs):
+        pts, _ = three_blobs
+        result = soft_kmeans(pts, 3, beta=100.0, rng=np.random.default_rng(0))
+        assert result.responsibilities.max(axis=1).mean() > 0.99
+
+    def test_low_beta_is_soft(self, three_blobs):
+        pts, _ = three_blobs
+        result = soft_kmeans(pts, 3, beta=0.001, rng=np.random.default_rng(0))
+        assert result.responsibilities.max(axis=1).mean() < 0.9
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            soft_kmeans(np.zeros((3, 2)), 2, beta=0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            soft_kmeans(np.zeros((0, 2)), 2)

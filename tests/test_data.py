@@ -1,0 +1,234 @@
+"""Tests for the synthetic dataset generators and windowing."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DidiConfig,
+    FoursquareConfig,
+    GowallaConfig,
+    PortoConfig,
+    build_learning_task,
+    build_learning_tasks,
+    generate_didi_tasks,
+    generate_foursquare_tasks,
+    generate_gowalla_workers,
+    generate_porto_workers,
+    make_city,
+    sliding_windows,
+)
+from repro.data.didi import TIME_UNIT_MINUTES, historical_task_locations
+from repro.data.generators import ARCHETYPES, PatternMix
+from repro.data.workload import Workload
+
+
+class TestCity:
+    def test_pois_inside_grid(self):
+        city = make_city(seed=1)
+        for poi in city.pois:
+            assert city.grid.contains(poi.location)
+
+    def test_deterministic(self):
+        a = make_city(seed=5)
+        b = make_city(seed=5)
+        assert np.allclose(a.district_centers, b.district_centers)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            make_city(n_districts=0)
+
+
+class TestArchetypes:
+    @pytest.mark.parametrize("name", list(ARCHETYPES))
+    def test_daily_trajectory_is_sane(self, name):
+        city = make_city(seed=2)
+        rng = np.random.default_rng(3)
+        pattern = ARCHETYPES[name](city, rng, day_minutes=360.0)
+        day = pattern.daily(day_start=0.0, sample_step=10.0)
+        assert len(day) >= 2
+        assert day.start_time >= 0.0
+        times = np.asarray(day.times)
+        assert np.all(np.diff(times) > 0)
+        for p in day:
+            assert city.grid.contains(p.location)
+
+    @pytest.mark.parametrize("name", list(ARCHETYPES))
+    def test_days_repeat_with_noise(self, name):
+        """Same pattern, different days: similar but not identical."""
+        city = make_city(seed=2)
+        pattern = ARCHETYPES[name](city, np.random.default_rng(3), day_minutes=360.0)
+        d1 = pattern.daily(0.0, 10.0)
+        d2 = pattern.daily(0.0, 10.0)
+        n = min(len(d1), len(d2))
+        dists = np.sqrt(((d1.xy[:n] - d2.xy[:n]) ** 2).sum(axis=1))
+        assert dists.mean() < 5.0  # same skeleton
+        assert dists.max() > 0.0  # but noisy
+
+    def test_pattern_mix_sampling(self):
+        mix = PatternMix(commuter=1.0, roamer=0.0, zone_loyal=0.0, courier=0.0)
+        rng = np.random.default_rng(0)
+        assert all(mix.sample(rng) == "commuter" for _ in range(5))
+
+    def test_pattern_mix_validates(self):
+        with pytest.raises(ValueError):
+            PatternMix(0.0, 0.0, 0.0, 0.0).sample(np.random.default_rng(0))
+
+
+class TestPorto:
+    def test_worker_population(self):
+        city, workers = generate_porto_workers(PortoConfig(n_workers=5, n_train_days=3))
+        assert len(workers) == 5
+        for w in workers:
+            assert len(w.history) == 3
+            assert len(w.routine) > 2
+
+    def test_deterministic(self):
+        _, w1 = generate_porto_workers(PortoConfig(n_workers=3, seed=9))
+        _, w2 = generate_porto_workers(PortoConfig(n_workers=3, seed=9))
+        assert np.allclose(w1[0].routine.xy, w2[0].routine.xy)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PortoConfig(n_workers=0)
+        with pytest.raises(ValueError):
+            PortoConfig(sample_step=0.0)
+
+
+class TestDidi:
+    def test_task_stream(self):
+        city = make_city(seed=1)
+        tasks = generate_didi_tasks(city, DidiConfig(n_tasks=50, seed=2))
+        assert len(tasks) == 50
+        arrivals = [t.release_time for t in tasks]
+        assert arrivals == sorted(arrivals)
+        for t in tasks:
+            assert city.grid.contains(t.location)
+
+    def test_valid_time_interval(self):
+        city = make_city(seed=1)
+        lo, hi = 2.0, 3.0
+        tasks = generate_didi_tasks(city, DidiConfig(n_tasks=40, valid_time_units=(lo, hi)))
+        for t in tasks:
+            units = t.valid_minutes / TIME_UNIT_MINUTES
+            assert lo <= units <= hi
+
+    def test_rush_hour_peaks(self):
+        """More arrivals near the AM/PM peaks than in the middle."""
+        city = make_city(seed=1)
+        cfg = DidiConfig(n_tasks=2000, day_minutes=360.0, seed=3)
+        tasks = generate_didi_tasks(city, cfg)
+        arrivals = np.array([t.release_time for t in tasks]) / 360.0
+        peak = ((np.abs(arrivals - 0.25) < 0.08) | (np.abs(arrivals - 0.75) < 0.08)).mean()
+        trough = (np.abs(arrivals - 0.5) < 0.08).mean()
+        assert peak > 2 * trough
+
+    def test_id_offset(self):
+        city = make_city(seed=1)
+        tasks = generate_didi_tasks(city, DidiConfig(n_tasks=5), id_offset=100)
+        assert [t.task_id for t in tasks] == list(range(100, 105))
+
+    def test_historical_locations_shape(self):
+        city = make_city(seed=1)
+        xy = historical_task_locations(city, 30)
+        assert xy.shape == (30, 2)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DidiConfig(valid_time_units=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            DidiConfig(valid_time_units=(3.0, 2.0))
+
+
+class TestGowallaFoursquare:
+    def test_workers_anchor_to_venues(self):
+        city, workers = generate_gowalla_workers(GowallaConfig(n_workers=4, n_train_days=2))
+        assert len(workers) == 4
+        for w in workers:
+            assert len(w.history) == 2
+
+    def test_tasks_snap_to_venues(self):
+        city, _ = generate_gowalla_workers(GowallaConfig(n_workers=2))
+        tasks = generate_foursquare_tasks(city, FoursquareConfig(n_tasks=30, seed=4))
+        poi_xy = np.array([[p.location.x, p.location.y] for p in city.pois])
+        for t in tasks:
+            d = np.sqrt(((poi_xy - [t.location.x, t.location.y]) ** 2).sum(axis=1)).min()
+            assert d < 0.5  # within noise of some venue
+
+    def test_foursquare_requires_venues(self):
+        city = make_city(seed=1)
+        city.pois.clear()
+        with pytest.raises(ValueError):
+            generate_foursquare_tasks(city)
+
+    def test_shared_distribution_property(self):
+        """Workload 2's signature: worker and task locations share anchors,
+        so the typical worker-to-nearest-task distance is small."""
+        city, workers = generate_gowalla_workers(GowallaConfig(n_workers=6, seed=1))
+        tasks = generate_foursquare_tasks(city, FoursquareConfig(n_tasks=100, seed=2))
+        task_xy = np.array([[t.location.x, t.location.y] for t in tasks])
+        dists = []
+        for w in workers:
+            for sample in w.routine.xy:
+                dists.append(np.sqrt(((task_xy - sample) ** 2).sum(axis=1)).min())
+        assert np.median(dists) < 2.0
+
+
+class TestSlidingWindows:
+    def test_counts(self):
+        xy = np.arange(20).reshape(10, 2).astype(float)
+        x, y = sliding_windows(xy, seq_in=3, seq_out=2)
+        assert x.shape == (6, 3, 2)
+        assert y.shape == (6, 2, 2)
+
+    def test_contiguity(self):
+        xy = np.arange(20).reshape(10, 2).astype(float)
+        x, y = sliding_windows(xy, 3, 1)
+        assert np.allclose(y[0, 0], xy[3])
+        assert np.allclose(x[1, 0], xy[1])
+
+    def test_stride(self):
+        xy = np.zeros((10, 2))
+        x, _ = sliding_windows(xy, 2, 1, stride=3)
+        assert len(x) == 3
+
+    def test_short_sequence_empty(self):
+        x, y = sliding_windows(np.zeros((2, 2)), 3, 1)
+        assert len(x) == 0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros((5, 2)), 0, 1)
+
+
+class TestBuildLearningTasks:
+    def test_builds_for_all_workers(self, small_city_and_workers):
+        city, workers = small_city_and_workers
+        tasks = build_learning_tasks({w.worker_id: w.history for w in workers}, city, 4, 1)
+        assert len(tasks) == len(workers)
+        for t in tasks:
+            assert t.support_x.max() <= 1.0 + 1e-9  # normalised space
+            assert len(t.location_sample) > 0
+
+    def test_short_history_returns_none(self, small_city_and_workers):
+        city, workers = small_city_and_workers
+        short = [workers[0].history[0].slice_time(0.0, 15.0)]  # 2 samples
+        task = build_learning_task(0, short, city, seq_in=4, seq_out=1, rng=np.random.default_rng(0))
+        assert task is None
+
+    def test_location_sample_capped(self, small_city_and_workers):
+        city, workers = small_city_and_workers
+        task = build_learning_task(
+            0, workers[0].history, city, 4, 1, np.random.default_rng(0), max_location_sample=10
+        )
+        assert len(task.location_sample) <= 10
+
+
+class TestWorkload:
+    def test_horizon_covers_tasks(self, small_workload):
+        t0, t1 = small_workload.horizon()
+        assert t0 <= min(t.release_time for t in small_workload.tasks)
+        assert t1 >= max(t.deadline for t in small_workload.tasks)
+
+    def test_worker_histories(self, small_workload):
+        hist = small_workload.worker_histories()
+        assert set(hist) == {w.worker_id for w in small_workload.workers}

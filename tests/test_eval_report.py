@@ -1,0 +1,67 @@
+"""Tests for evaluation metrics and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import mae, regression_summary, rmse
+from repro.eval.report import Table, format_series, format_table
+
+
+class TestMetrics:
+    def test_zero_error(self, rng):
+        x = rng.normal(size=(5, 2))
+        assert rmse(x, x) == 0.0
+        assert mae(x, x) == 0.0
+
+    def test_known_values(self):
+        pred = np.array([[3.0, 4.0]])
+        target = np.array([[0.0, 0.0]])
+        assert rmse(pred, target) == pytest.approx(5.0)
+        assert mae(pred, target) == pytest.approx(5.0)
+
+    def test_rmse_at_least_mae(self, rng):
+        pred = rng.normal(size=(20, 3, 2))
+        target = rng.normal(size=(20, 3, 2))
+        assert rmse(pred, target) >= mae(pred, target)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros((2, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            mae(np.zeros((0, 2)), np.zeros((0, 2)))
+
+    def test_summary(self, rng):
+        pred = rng.normal(size=(4, 2))
+        target = rng.normal(size=(4, 2))
+        s = regression_summary(pred, target)
+        assert set(s) == {"rmse", "mae"}
+
+
+class TestTable:
+    def test_renders_aligned(self):
+        out = format_table("T", ["a", "bb"], [[1.0, 2.0], [3.123456, 4.0]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "3.1235" in out  # default 4-digit precision
+
+    def test_row_width_checked(self):
+        t = Table(headers=["a", "b"])
+        t.add_row([1.0])
+        with pytest.raises(ValueError):
+            t.render()
+
+    def test_bool_and_str_formatting(self):
+        out = format_table("", ["x"], [[True], ["name"]])
+        assert "yes" in out and "name" in out
+
+    def test_format_series(self):
+        out = format_series(
+            "Fig X", "d", [2, 4], {"PPI": [0.5, 0.6], "KM": [0.4, 0.5]}
+        )
+        assert "PPI" in out and "KM" in out
+        assert "0.6000" in out
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("t", "x", [1, 2], {"a": [1.0]})

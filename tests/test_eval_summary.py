@@ -1,0 +1,69 @@
+"""Tests for simulation summaries."""
+
+import numpy as np
+import pytest
+
+from repro.eval.summary import SimulationSummary, summarize
+from repro.sc.platform import BatchRecord, SimulationResult
+
+
+def make_result(**overrides):
+    base = dict(
+        n_tasks=10,
+        n_completed=6,
+        n_assignments=9,
+        n_rejections=3,
+        n_expired=4,
+        detours_km=[0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+        algorithm_seconds=0.2,
+        batches=[
+            BatchRecord(0.0, 2, 5, 2, 2, 0),
+            BatchRecord(2.0, 5, 4, 3, 2, 1),
+            BatchRecord(4.0, 3, 4, 2, 2, 0),
+        ],
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestSummarize:
+    def test_ratios(self):
+        s = summarize(make_result())
+        assert s.completion_ratio == 0.6
+        assert s.expiry_ratio == 0.4
+        assert s.rejection_ratio == pytest.approx(3 / 9)
+
+    def test_detour_percentiles_ordered(self):
+        s = summarize(make_result())
+        assert s.detour_p50_km <= s.detour_p90_km <= s.detour_max_km
+        assert s.detour_max_km == 3.0
+
+    def test_batch_statistics(self):
+        s = summarize(make_result())
+        assert s.n_batches == 3
+        assert s.peak_pending == 5
+        assert s.busiest_batch_time == 2.0
+        assert s.mean_pending_per_batch == pytest.approx(10 / 3)
+
+    def test_empty_result(self):
+        s = summarize(make_result(
+            n_tasks=0, n_completed=0, n_assignments=0, n_rejections=0,
+            n_expired=0, detours_km=[], batches=[],
+        ))
+        assert s.completion_ratio == 0.0
+        assert s.detour_max_km == 0.0
+        assert s.n_batches == 0
+
+    def test_lines_render(self):
+        lines = summarize(make_result()).lines()
+        assert len(lines) == 5
+        assert any("p90" in line for line in lines)
+
+    def test_from_real_simulation(self, small_workload):
+        from repro.pipeline import AssignmentConfig, run_assignment
+
+        result = run_assignment(small_workload, "lb", AssignmentConfig(batch_window=5.0))
+        s = summarize(result)
+        assert s.n_tasks == len(small_workload.tasks)
+        assert 0.0 <= s.completion_ratio <= 1.0
+        assert isinstance(s, SimulationSummary)

@@ -1,0 +1,120 @@
+"""Tests for repro.geo.detour."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.detour import (
+    detour_via_point,
+    earliest_arrival_time,
+    feasible_detour_points,
+    min_detour,
+    min_distance_to_path,
+)
+from repro.geo.point import Point
+
+from tests.conftest import straight_trajectory
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestDetourViaPoint:
+    def test_on_segment_is_zero(self):
+        assert detour_via_point(Point(0, 0), Point(10, 0), Point(5, 0)) == pytest.approx(0.0)
+
+    def test_perpendicular(self):
+        d = detour_via_point(Point(0, 0), Point(10, 0), Point(5, 5))
+        assert d == pytest.approx(2 * math.hypot(5, 5) - 10)
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_never_negative(self, ax, ay, bx, by, vx, vy):
+        d = detour_via_point(Point(ax, ay), Point(bx, by), Point(vx, vy))
+        assert d >= -1e-9
+
+
+class TestMinDetour:
+    def test_empty_route_raises(self):
+        with pytest.raises(ValueError):
+            min_detour(np.zeros((0, 2)), Point(0, 0))
+
+    def test_single_point_out_and_back(self):
+        d, k = min_detour(np.array([[0.0, 0.0]]), Point(3, 4))
+        assert d == pytest.approx(10.0)
+        assert k == 0
+
+    def test_picks_best_segment(self):
+        route = np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0]])
+        d, k = min_detour(route, Point(10.0, 5.0))
+        assert d == pytest.approx(0.0)
+        assert k == 1
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            route = rng.uniform(-10, 10, size=(6, 2))
+            target = Point(*rng.uniform(-10, 10, size=2))
+            d, _ = min_detour(route, target)
+            brute = min(
+                detour_via_point(Point(*route[i]), Point(*route[i + 1]), target)
+                for i in range(len(route) - 1)
+            )
+            assert d == pytest.approx(max(brute, 0.0), abs=1e-9)
+
+
+class TestMinDistanceToPath:
+    def test_basic(self):
+        route = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert min_distance_to_path(route, Point(4, 3)) == pytest.approx(5.0)
+
+    def test_on_sample(self):
+        route = np.array([[1.0, 1.0]])
+        assert min_distance_to_path(route, Point(1, 1)) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            min_distance_to_path(np.zeros((0, 2)), Point(0, 0))
+
+
+class TestEarliestArrival:
+    def test_at_start(self, line_trajectory):
+        # Task at the start point: arrival equals the start time.
+        t = earliest_arrival_time(line_trajectory, Point(0, 0), 1.0)
+        assert t == pytest.approx(0.0)
+
+    def test_off_route(self):
+        traj = straight_trajectory(end=(10.0, 0.0), t1=10.0)  # speed 1 km/min
+        target = Point(5.0, 5.0)
+        t = earliest_arrival_time(traj, target, 1.0)
+        # Best branch over all samples (x, 0) at time x: min_x x + hypot(5-x, 5).
+        expected = min(x + math.hypot(5.0 - x, 5.0) for x in range(11))
+        assert t == pytest.approx(expected)
+
+    def test_zero_speed_unreachable(self, line_trajectory):
+        assert earliest_arrival_time(line_trajectory, Point(1, 1), 0.0) == math.inf
+
+
+class TestFeasibleDetourPoints:
+    def test_all_feasible_on_route(self):
+        route = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        times = [0.0, 1.0, 2.0]
+        idx = feasible_detour_points(route, times, Point(1.0, 0.0), max_detour=1.0, deadline=100.0, speed_km_per_min=1.0)
+        assert 1 in idx
+
+    def test_deadline_filters(self):
+        route = np.array([[0.0, 0.0], [5.0, 0.0]])
+        times = [0.0, 50.0]
+        # From the second sample the task deadline has passed.
+        idx = feasible_detour_points(route, times, Point(5.0, 0.0), max_detour=10.0, deadline=10.0, speed_km_per_min=1.0)
+        assert idx == [0] or idx == []  # sample 0 needs 5 min travel -> feasible
+        assert 1 not in idx
+
+    def test_zero_speed_nothing_feasible(self):
+        route = np.array([[0.0, 0.0]])
+        idx = feasible_detour_points(route, [0.0], Point(1.0, 0.0), 10.0, 10.0, 0.0)
+        assert idx == []
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            feasible_detour_points(np.zeros((2, 2)), [0.0], Point(0, 0), 1.0, 1.0, 1.0)

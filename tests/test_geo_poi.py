@@ -1,0 +1,62 @@
+"""Tests for repro.geo.poi."""
+
+import numpy as np
+import pytest
+
+from repro.geo.poi import (
+    POI,
+    POICategory,
+    nearest_poi,
+    poi_feature_matrix,
+    visited_pois,
+)
+from repro.geo.point import Point
+
+
+@pytest.fixture
+def layer():
+    return [
+        POI(Point(0.0, 0.0), POICategory.RESIDENTIAL),
+        POI(Point(5.0, 0.0), POICategory.OFFICE),
+        POI(Point(0.0, 5.0), POICategory.FOOD),
+    ]
+
+
+class TestPOI:
+    def test_feature_vector(self):
+        p = POI(Point(1.0, 2.0), POICategory.RETAIL)
+        assert np.allclose(p.as_feature(), [1.0, 2.0, float(POICategory.RETAIL)])
+
+    def test_feature_matrix(self, layer):
+        m = poi_feature_matrix(layer)
+        assert m.shape == (3, 3)
+
+    def test_feature_matrix_empty(self):
+        assert poi_feature_matrix([]).shape == (0, 3)
+
+
+class TestNearest:
+    def test_picks_closest(self, layer):
+        assert nearest_poi(layer, Point(4.0, 0.5)) is layer[1]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_poi([], Point(0, 0))
+
+
+class TestVisited:
+    def test_within_radius(self, layer):
+        route = np.array([[0.1, 0.1], [5.0, 0.2], [10.0, 10.0]])
+        visited = visited_pois(layer, route, radius_km=0.5)
+        assert [v.category for v in visited] == [POICategory.RESIDENTIAL, POICategory.OFFICE]
+
+    def test_revisits_repeat(self, layer):
+        route = np.array([[0.0, 0.0], [0.0, 0.0]])
+        assert len(visited_pois(layer, route, radius_km=0.1)) == 2
+
+    def test_negative_radius_raises(self, layer):
+        with pytest.raises(ValueError):
+            visited_pois(layer, np.zeros((1, 2)), radius_km=-1.0)
+
+    def test_empty_layer(self):
+        assert visited_pois([], np.zeros((3, 2)), 1.0) == []

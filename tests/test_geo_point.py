@@ -1,0 +1,120 @@
+"""Tests for repro.geo.point."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.point import (
+    Point,
+    euclidean,
+    haversine,
+    pairwise_distances,
+    path_length,
+)
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        p = Point(3.0, 4.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_345(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_as_array_roundtrip(self):
+        p = Point(1.5, -2.5)
+        assert Point.from_array(p.as_array()) == p
+
+    def test_from_array_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Point.from_array([1.0, 2.0, 3.0])
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_is_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+    def test_unpacking(self):
+        x, y = Point(7.0, 8.0)
+        assert (x, y) == (7.0, 8.0)
+
+    @given(finite, finite, finite, finite)
+    def test_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9
+
+
+class TestEuclidean:
+    def test_accepts_points_and_tuples(self):
+        assert euclidean(Point(0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert euclidean((1, 1), (1, 1)) == 0.0
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine(41.15, -8.6, 41.15, -8.6) == pytest.approx(0.0)
+
+    def test_one_degree_latitude_is_about_111km(self):
+        assert haversine(0, 0, 1, 0) == pytest.approx(111.2, rel=0.01)
+
+    def test_symmetry(self):
+        d1 = haversine(41.0, -8.0, 41.2, -8.4)
+        d2 = haversine(41.2, -8.4, 41.0, -8.0)
+        assert d1 == pytest.approx(d2)
+
+
+class TestPairwiseDistances:
+    def test_shape(self):
+        a = np.zeros((3, 2))
+        b = np.ones((5, 2))
+        assert pairwise_distances(a, b).shape == (3, 5)
+
+    def test_values(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0], [0.0, 1.0]])
+        got = pairwise_distances(a, b)
+        assert got[0, 0] == pytest.approx(5.0)
+        assert got[0, 1] == pytest.approx(1.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((3, 3)), np.zeros((3, 2)))
+
+    def test_matches_manual_computation(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(4, 2))
+        b = rng.normal(size=(6, 2))
+        got = pairwise_distances(a, b)
+        for i in range(4):
+            for j in range(6):
+                assert got[i, j] == pytest.approx(math.hypot(*(a[i] - b[j])))
+
+
+class TestPathLength:
+    def test_empty_and_single(self):
+        assert path_length(np.zeros((0, 2))) == 0.0
+        assert path_length([Point(1, 1)]) == 0.0
+
+    def test_straight_line(self):
+        pts = [Point(0, 0), Point(3, 4), Point(6, 8)]
+        assert path_length(pts) == pytest.approx(10.0)
+
+    def test_accepts_ndarray(self):
+        arr = np.array([[0.0, 0.0], [0.0, 2.0]])
+        assert path_length(arr) == pytest.approx(2.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            path_length(np.zeros((3, 3)))

@@ -1,0 +1,116 @@
+"""End-to-end integration tests spanning the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.meta.maml import MAMLConfig
+from repro.pipeline import (
+    AssignmentConfig,
+    PredictionConfig,
+    WorkloadSpec,
+    evaluate_prediction,
+    make_workload,
+    make_workload1,
+    make_workload2,
+    run_assignment,
+    train_predictor,
+)
+
+
+def tiny_config(algorithm="gttaml", loss="task_oriented"):
+    return PredictionConfig(
+        algorithm=algorithm,
+        loss=loss,
+        hidden_size=8,
+        fine_tune_steps=10,
+        fine_tune_lr=0.02,
+        maml=MAMLConfig(iterations=3, meta_batch=2, inner_steps=2, support_batch=8),
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline_artifacts():
+    workload, learning = make_workload1(WorkloadSpec(n_workers=8, n_tasks=80, n_train_days=4, seed=9))
+    predictor = train_predictor(
+        learning, workload.city, tiny_config(), workload.historical_tasks_xy
+    )
+    return workload, learning, predictor
+
+
+class TestEndToEnd:
+    def test_prediction_report_is_finite(self, pipeline_artifacts):
+        workload, _, predictor = pipeline_artifacts
+        report = evaluate_prediction(predictor, workload.workers)
+        for value in report.as_row().values():
+            assert np.isfinite(value)
+
+    def test_all_algorithms_conserve_tasks(self, pipeline_artifacts):
+        workload, _, predictor = pipeline_artifacts
+        cfg = AssignmentConfig(batch_window=5.0)
+        for algorithm in ("ppi", "km", "ub", "lb"):
+            result = run_assignment(workload, algorithm, cfg, predictor=predictor)
+            assert result.n_completed + result.n_expired == result.n_tasks
+            assert result.n_rejections <= result.n_assignments
+
+    def test_completed_tasks_really_exist(self, pipeline_artifacts):
+        workload, _, predictor = pipeline_artifacts
+        result = run_assignment(workload, "ppi", AssignmentConfig(batch_window=5.0), predictor=predictor)
+        task_ids = {t.task_id for t in workload.tasks}
+        assert result.completed_task_ids <= task_ids
+
+    def test_ub_dominates_lb_on_average(self):
+        """Oracle knowledge should beat no knowledge across seeds."""
+        ub_total, lb_total = 0.0, 0.0
+        for seed in (3, 4, 5):
+            workload, _ = make_workload1(
+                WorkloadSpec(n_workers=10, n_tasks=200, n_train_days=2, seed=seed)
+            )
+            cfg = AssignmentConfig()
+            ub_total += run_assignment(workload, "ub", cfg).metrics().completion_ratio
+            lb_total += run_assignment(workload, "lb", cfg).metrics().completion_ratio
+        assert ub_total > lb_total
+
+    def test_detour_budget_zero_prevents_everything(self):
+        workload, _ = make_workload1(WorkloadSpec(n_workers=6, n_tasks=50, detour_km=0.0, seed=2))
+        result = run_assignment(workload, "lb", AssignmentConfig())
+        # With a zero detour budget nothing within min(d/2, d^t)=0 exists.
+        assert result.n_completed == 0
+
+    def test_workload2_pipeline_runs(self):
+        workload, learning = make_workload2(WorkloadSpec(n_workers=8, n_tasks=60, n_train_days=3, seed=9))
+        predictor = train_predictor(
+            learning, workload.city, tiny_config("maml", "mse"), workload.historical_tasks_xy
+        )
+        result = run_assignment(workload, "ppi", AssignmentConfig(batch_window=5.0), predictor=predictor)
+        assert result.n_tasks == 60
+
+    def test_make_workload_by_name(self):
+        wl, learning = make_workload("porto-didi", WorkloadSpec(n_workers=4, n_tasks=20, n_train_days=2))
+        assert wl.name == "porto-didi"
+        with pytest.raises(ValueError):
+            make_workload("nope")
+
+    def test_acceptance_consistency_with_metrics(self, pipeline_artifacts):
+        """Every recorded detour must respect the detour budget."""
+        workload, _, predictor = pipeline_artifacts
+        result = run_assignment(workload, "ppi", AssignmentConfig(batch_window=5.0), predictor=predictor)
+        budget = max(w.detour_budget_km for w in workload.workers)
+        assert all(d <= budget + 1e-9 for d in result.detours_km)
+
+    def test_deterministic_given_seeds(self):
+        def run_once():
+            workload, learning = make_workload1(
+                WorkloadSpec(n_workers=6, n_tasks=50, n_train_days=3, seed=13)
+            )
+            predictor = train_predictor(
+                learning, workload.city, tiny_config("maml", "mse"), workload.historical_tasks_xy
+            )
+            result = run_assignment(
+                workload, "km", AssignmentConfig(batch_window=5.0), predictor=predictor
+            )
+            return result.metrics()
+
+        a, b = run_once(), run_once()
+        assert a.completion_ratio == b.completion_ratio
+        assert a.rejection_ratio == b.rejection_ratio
+        assert a.worker_cost_km == pytest.approx(b.worker_cost_km)

@@ -1,0 +1,87 @@
+"""Tests for learning tasks and support/query splitting."""
+
+import numpy as np
+import pytest
+
+from repro.meta.learning_task import LearningTask, split_support_query
+
+
+def make_windows(n, seq_in=3, seq_out=1, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, seq_in, 2)), rng.normal(size=(n, seq_out, 2))
+
+
+class TestLearningTask:
+    def test_basic_construction(self):
+        x, y = make_windows(10)
+        task = LearningTask(0, x[:8], y[:8], x[8:], y[8:])
+        assert task.seq_in == 3
+        assert task.seq_out == 1
+
+    def test_rejects_empty_support(self):
+        x, y = make_windows(4)
+        with pytest.raises(ValueError):
+            LearningTask(0, x[:0], y[:0], x, y)
+
+    def test_rejects_misaligned(self):
+        x, y = make_windows(4)
+        with pytest.raises(ValueError):
+            LearningTask(0, x, y[:2], x, y)
+
+    def test_rejects_2d_windows(self):
+        with pytest.raises(ValueError):
+            LearningTask(0, np.zeros((3, 2)), np.zeros((3, 2)), np.zeros((1, 1, 2)), np.zeros((1, 1, 2)))
+
+    def test_support_batch_subsamples(self, rng):
+        x, y = make_windows(20)
+        task = LearningTask(0, x, y, x[:1], y[:1])
+        bx, by = task.support_batch(5, rng)
+        assert bx.shape == (5, 3, 2)
+
+    def test_support_batch_returns_all_when_small(self, rng):
+        x, y = make_windows(3)
+        task = LearningTask(0, x, y, x[:1], y[:1])
+        bx, _ = task.support_batch(10, rng)
+        assert len(bx) == 3
+
+
+class TestSplitSupportQuery:
+    def test_split_sizes(self, rng):
+        x, y = make_windows(20)
+        sx, sy, qx, qy = split_support_query(x, y, query_fraction=0.25, rng=rng)
+        assert len(sx) == 15 and len(qx) == 5
+        assert len(sx) == len(sy) and len(qx) == len(qy)
+
+    def test_split_partitions(self, rng):
+        x, y = make_windows(12)
+        sx, _, qx, _ = split_support_query(x, y, rng=rng)
+        combined = np.concatenate([sx, qx])
+        assert len(combined) == 12
+        # Every original window appears exactly once.
+        orig = {tuple(w.ravel()) for w in x}
+        got = {tuple(w.ravel()) for w in combined}
+        assert orig == got
+
+    def test_single_window_all_support(self, rng):
+        x, y = make_windows(1)
+        sx, _, qx, _ = split_support_query(x, y, rng=rng)
+        assert len(sx) == 1 and len(qx) == 0
+
+    def test_two_windows_one_each(self, rng):
+        x, y = make_windows(2)
+        sx, _, qx, _ = split_support_query(x, y, rng=rng)
+        assert len(sx) == 1 and len(qx) == 1
+
+    def test_validates_fraction(self, rng):
+        x, y = make_windows(5)
+        with pytest.raises(ValueError):
+            split_support_query(x, y, query_fraction=1.5, rng=rng)
+
+    def test_validates_alignment(self, rng):
+        x, y = make_windows(5)
+        with pytest.raises(ValueError):
+            split_support_query(x, y[:3], rng=rng)
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            split_support_query(np.zeros((0, 3, 2)), np.zeros((0, 1, 2)), rng=rng)

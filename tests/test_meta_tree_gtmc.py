@@ -1,0 +1,178 @@
+"""Tests for the learning task tree, GTMC, and the k-means ablation."""
+
+import numpy as np
+import pytest
+
+from repro.meta.features import (
+    build_factor_embeddings,
+    build_similarity_matrices,
+    distribution_embedding,
+    path_embedding,
+    spatial_embedding,
+)
+from repro.meta.gtmc import GTMCConfig, gtmc_cluster, kmeans_multilevel_cluster
+from repro.meta.learning_task import LearningTask
+from repro.meta.task_tree import LearningTaskTree
+
+
+def grouped_tasks(n_groups=3, per_group=4, seed=0):
+    """Learning tasks whose location samples form distinct blobs."""
+    rng = np.random.default_rng(seed)
+    tasks = []
+    wid = 0
+    for g in range(n_groups):
+        center = np.array([g * 20.0, g * 10.0])
+        for _ in range(per_group):
+            sample = rng.normal(center, 0.5, size=(40, 2))
+            x = rng.normal(size=(6, 3, 2))
+            y = rng.normal(size=(6, 1, 2))
+            pois = np.column_stack([rng.normal(center, 0.5, size=(5, 2)), np.full(5, float(g % 3))])
+            tasks.append(
+                LearningTask(wid, x[:4], y[:4], x[4:], y[4:], location_sample=sample, poi_features=pois)
+            )
+            wid += 1
+    return tasks
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return grouped_tasks()
+
+
+@pytest.fixture(scope="module")
+def sims(tasks):
+    return build_similarity_matrices(tasks, factors=("distribution", "spatial"))
+
+
+class TestTaskTree:
+    def test_add_child_sets_links(self):
+        root = LearningTaskTree(cluster=[])
+        child = LearningTaskTree(cluster=[])
+        root.add_child(child)
+        assert child.parent is root
+        assert child.level == 1
+        assert not root.is_leaf
+
+    def test_traversals(self):
+        root = LearningTaskTree(cluster=[])
+        a, b = LearningTaskTree(cluster=[]), LearningTaskTree(cluster=[])
+        root.add_child(a)
+        root.add_child(b)
+        c = LearningTaskTree(cluster=[])
+        a.add_child(c)
+        pre = list(root.iter_nodes())
+        post = list(root.iter_postorder())
+        assert pre[0] is root and post[-1] is root
+        assert root.n_nodes() == 4
+        assert root.depth() == 2
+        assert len(root.leaves()) == 2
+
+    def test_find_leaf_for_worker(self, tasks):
+        root = LearningTaskTree(cluster=tasks)
+        leaf = LearningTaskTree(cluster=tasks[:2])
+        root.add_child(leaf)
+        assert root.find_leaf_for_worker(tasks[0].worker_id) is leaf
+        assert root.find_leaf_for_worker(-99) is None
+
+
+class TestGTMCConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GTMCConfig(k=0)
+        with pytest.raises(ValueError):
+            GTMCConfig(gamma=1.0)
+        with pytest.raises(ValueError):
+            GTMCConfig(factors=())
+        with pytest.raises(ValueError):
+            GTMCConfig(factors=("a", "b"), thresholds=(0.5,))
+
+
+class TestGTMC:
+    def test_builds_tree_recovering_groups(self, tasks, sims):
+        cfg = GTMCConfig(k=3, gamma=0.2, factors=("distribution",), thresholds=(0.9,))
+        tree = gtmc_cluster(tasks, sims, cfg, rng=np.random.default_rng(0))
+        leaves = tree.leaves()
+        assert len(leaves) >= 3
+        # Workers of one blob should share a leaf.
+        leaf_of = {t.worker_id: id(leaf) for leaf in leaves for t in leaf.cluster}
+        for g in range(3):
+            ids = {leaf_of[wid] for wid in range(g * 4, g * 4 + 4)}
+            assert len(ids) == 1, f"group {g} split across leaves"
+
+    def test_multilevel_descends_on_low_quality(self, tasks, sims):
+        # Impossible threshold forces descent to the second factor.
+        cfg = GTMCConfig(k=3, gamma=0.2, factors=("distribution", "spatial"), thresholds=(1.1, 1.1))
+        tree = gtmc_cluster(tasks, sims, cfg, rng=np.random.default_rng(0))
+        levels = {n.level for n in tree.iter_nodes()}
+        assert 2 in levels, "expected second-level clustering"
+        factors_used = {n.factor for n in tree.iter_nodes() if n.factor}
+        assert factors_used == {"distribution", "spatial"}
+
+    def test_missing_similarity_raises(self, tasks):
+        with pytest.raises(KeyError):
+            gtmc_cluster(tasks, {}, GTMCConfig(factors=("distribution",), thresholds=(0.5,)))
+
+    def test_wrong_shape_raises(self, tasks):
+        with pytest.raises(ValueError):
+            gtmc_cluster(
+                tasks,
+                {"distribution": np.eye(3)},
+                GTMCConfig(factors=("distribution",), thresholds=(0.5,)),
+            )
+
+    def test_leaf_clusters_partition_tasks(self, tasks, sims):
+        cfg = GTMCConfig(k=3, gamma=0.2, factors=("distribution", "spatial"), thresholds=(1.1, 1.1))
+        tree = gtmc_cluster(tasks, sims, cfg, rng=np.random.default_rng(1))
+        ids = sorted(tree.worker_ids())
+        assert ids == sorted(t.worker_id for t in tasks)
+
+    def test_single_task_stays_root(self, tasks, sims):
+        only = [tasks[0]]
+        sub = {k: v[:1, :1] for k, v in sims.items()}
+        cfg = GTMCConfig(factors=("distribution",), thresholds=(0.5,))
+        tree = gtmc_cluster(only, sub, cfg)
+        assert tree.is_leaf
+
+
+class TestKMeansMultilevel:
+    def test_builds_comparable_tree(self, tasks, sims):
+        embeddings = build_factor_embeddings(tasks, factors=("distribution", "spatial"))
+        cfg = GTMCConfig(k=3, gamma=0.2, factors=("distribution", "spatial"), thresholds=(1.1, 1.1))
+        tree = kmeans_multilevel_cluster(tasks, embeddings, sims, cfg, rng=np.random.default_rng(0))
+        assert len(tree.leaves()) >= 3
+        assert sorted(tree.worker_ids()) == sorted(t.worker_id for t in tasks)
+
+    def test_missing_embedding_raises(self, tasks, sims):
+        with pytest.raises(KeyError):
+            kmeans_multilevel_cluster(tasks, {}, sims, GTMCConfig(factors=("distribution",), thresholds=(0.5,)))
+
+
+class TestEmbeddings:
+    def test_distribution_embedding_shape(self, tasks):
+        assert distribution_embedding(tasks[0]).shape == (5,)
+
+    def test_distribution_embedding_empty(self):
+        t = LearningTask(0, np.zeros((1, 2, 2)), np.zeros((1, 1, 2)), np.zeros((0, 2, 2)), np.zeros((0, 1, 2)))
+        assert np.allclose(distribution_embedding(t), 0.0)
+
+    def test_spatial_embedding_histogram_normalised(self, tasks):
+        emb = spatial_embedding(tasks[0])
+        assert emb.shape == (10,)
+        assert emb[2:].sum() == pytest.approx(1.0)
+
+    def test_path_embedding_deterministic(self, rng):
+        path = rng.normal(size=(3, 50))
+        assert np.allclose(path_embedding(path, dim=8), path_embedding(path, dim=8))
+
+    def test_path_embedding_direction_invariant_to_scale(self, rng):
+        path = rng.normal(size=(3, 50))
+        assert np.allclose(path_embedding(path, dim=8), path_embedding(path * 7.0, dim=8))
+
+    def test_build_similarity_requires_paths_for_learning_path(self, tasks):
+        with pytest.raises(ValueError):
+            build_similarity_matrices(tasks, paths=None, factors=("learning_path",))
+
+    def test_similarity_matrices_are_normalised(self, sims):
+        for mat in sims.values():
+            assert mat.min() >= 0.0 and mat.max() <= 1.0
+            assert np.allclose(mat, mat.T)

@@ -1,0 +1,144 @@
+"""Tests for the GRU cell/layer and GRU encoder-decoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gru import GRU, GRUCell
+from repro.nn.losses import mse_loss
+from repro.nn.module import clone_parameters
+from repro.nn.optim import Adam
+from repro.nn.seq2seq import GRUEncoderDecoder, make_mobility_model
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def cell(rng):
+    return GRUCell(input_size=3, hidden_size=4, rng=rng)
+
+
+class TestGRUCell:
+    def test_output_shape(self, cell):
+        h = cell.zero_state(5)
+        out = cell(Tensor(np.zeros((5, 3))), h)
+        assert out.shape == (5, 4)
+
+    def test_rejects_bad_sizes(self, rng):
+        with pytest.raises(ValueError):
+            GRUCell(0, 4, rng)
+
+    def test_zero_update_gate_replaces_state(self, cell, rng):
+        """With the update gate forced to 0, h' equals the candidate."""
+        cell.bias.data[4:8] = -100.0  # update gate -> sigmoid(-100) = 0
+        h0 = Tensor(np.ones((1, 4)) * 5.0)
+        out = cell(Tensor(rng.normal(size=(1, 3))), h0)
+        assert np.all(np.abs(out.numpy()) <= 1.0)  # tanh candidate only
+
+    def test_one_update_gate_keeps_state(self, cell, rng):
+        cell.bias.data[4:8] = 100.0  # update gate -> 1
+        h0 = Tensor(np.ones((1, 4)) * 0.5)
+        out = cell(Tensor(rng.normal(size=(1, 3))), h0)
+        assert np.allclose(out.numpy(), 0.5, atol=1e-6)
+
+    def test_gradient_matches_finite_difference(self, cell, rng):
+        x = rng.normal(size=(2, 3))
+
+        def loss_value():
+            h = cell.zero_state(2)
+            return float((cell(Tensor(x), h) ** 2).sum().item())
+
+        cell.zero_grad()
+        h = cell.zero_state(2)
+        (cell(Tensor(x), h) ** 2).sum().backward()
+        eps = 1e-6
+        for name, p in cell.named_parameters():
+            idx = (0,) if p.data.ndim == 1 else (0, 0)
+            orig = p.data[idx]
+            p.data[idx] = orig + eps
+            fp = loss_value()
+            p.data[idx] = orig - eps
+            fm = loss_value()
+            p.data[idx] = orig
+            assert p.grad[idx] == pytest.approx((fp - fm) / (2 * eps), abs=1e-5), name
+
+
+class TestGRULayer:
+    def test_shapes(self, rng):
+        gru = GRU(2, 6, rng)
+        out, h = gru(Tensor(rng.normal(size=(3, 7, 2))))
+        assert out.shape == (3, 7, 6)
+        assert h.shape == (3, 6)
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            GRU(2, 6, rng)(Tensor(np.zeros((3, 2))))
+
+    def test_functional_call_identity(self, rng):
+        gru = GRU(2, 4, rng)
+        x = Tensor(rng.normal(size=(2, 5, 2)))
+        direct, _ = gru(x)
+        via_ctx, _ = gru.functional_call(clone_parameters(gru), x)
+        assert np.allclose(direct.numpy(), via_ctx.numpy())
+
+
+class TestGRUEncoderDecoder:
+    def test_forward_shape(self, rng):
+        model = GRUEncoderDecoder(2, 8, seq_out=3, rng=rng)
+        assert model(Tensor(rng.normal(size=(4, 5, 2)))).shape == (4, 3, 2)
+
+    def test_learns_constant_displacement(self, rng):
+        model = GRUEncoderDecoder(2, 8, seq_out=1, rng=rng)
+        delta = np.array([0.05, -0.02])
+        starts = rng.uniform(0, 1, size=(64, 1, 2))
+        steps = np.arange(5).reshape(1, 5, 1)
+        x = starts + steps * delta
+        y = x[:, -1:, :] + delta
+        opt = Adam(model.parameters(), lr=0.01)
+        first = None
+        for _ in range(60):
+            opt.zero_grad()
+            loss = mse_loss(model(Tensor(x)), Tensor(y))
+            first = first if first is not None else loss.item()
+            loss.backward()
+            opt.step()
+        assert mse_loss(model(Tensor(x)), Tensor(y)).item() < first * 0.2
+
+    def test_meta_learning_runs_on_gru(self, rng):
+        """Model-agnosticism in practice: MAML over the GRU variant."""
+        from repro.meta.learning_task import LearningTask
+        from repro.meta.maml import MAMLConfig, meta_train
+
+        def task(wid):
+            x = rng.uniform(-1, 1, size=(12, 2, 2))
+            return LearningTask(wid, x[:8], x[:8] * 1.2, x[8:], x[8:] * 1.2)
+
+        model = GRUEncoderDecoder(2, 6, seq_out=2, rng=rng)
+        history = meta_train(
+            model,
+            [task(i) for i in range(3)],
+            MAMLConfig(iterations=3, meta_batch=2, inner_steps=1, support_batch=8),
+            mse_loss,
+        )
+        assert len(history) == 3
+        assert all(np.isfinite(h) for h in history)
+
+
+class TestFactory:
+    def test_dispatch(self, rng):
+        from repro.nn.seq2seq import LSTMEncoderDecoder
+
+        assert isinstance(make_mobility_model("lstm", rng=rng), LSTMEncoderDecoder)
+        assert isinstance(make_mobility_model("gru", rng=rng), GRUEncoderDecoder)
+
+    def test_unknown_cell(self, rng):
+        with pytest.raises(ValueError):
+            make_mobility_model("transformer", rng=rng)
+
+    def test_pipeline_config_cell_flag(self):
+        from repro.pipeline.config import PredictionConfig
+        from repro.pipeline.training import make_model_factory
+        from repro.nn.seq2seq import GRUEncoderDecoder as GED
+
+        cfg = PredictionConfig(cell="gru", hidden_size=6)
+        assert isinstance(make_model_factory(cfg)(), GED)
+        with pytest.raises(ValueError):
+            PredictionConfig(cell="rwkv")

@@ -1,0 +1,43 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestXavier:
+    def test_shape_and_bounds(self, rng):
+        w = init.xavier_uniform(rng, 10, 20)
+        assert w.shape == (10, 20)
+        limit = np.sqrt(6.0 / 30)
+        assert np.abs(w).max() <= limit
+
+    def test_deterministic_per_seed(self):
+        a = init.xavier_uniform(np.random.default_rng(5), 4, 4)
+        b = init.xavier_uniform(np.random.default_rng(5), 4, 4)
+        assert np.allclose(a, b)
+
+    def test_rejects_bad_fans(self, rng):
+        with pytest.raises(ValueError):
+            init.xavier_uniform(rng, 0, 5)
+
+
+class TestOthers:
+    def test_uniform_bounds(self, rng):
+        w = init.uniform(rng, (3, 3), scale=0.5)
+        assert np.abs(w).max() <= 0.5
+
+    def test_zeros(self):
+        assert np.allclose(init.zeros((2, 3)), 0.0)
+
+    def test_lstm_bias_forget_gate_open(self):
+        b = init.lstm_bias(4, forget_bias=1.5)
+        assert b.shape == (16,)
+        assert np.allclose(b[4:8], 1.5)
+        assert np.allclose(b[:4], 0.0)
+        assert np.allclose(b[8:], 0.0)
+
+    def test_lstm_bias_validates(self):
+        with pytest.raises(ValueError):
+            init.lstm_bias(0)

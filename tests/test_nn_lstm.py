@@ -1,0 +1,101 @@
+"""Tests for the LSTM cell/layer, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.lstm import LSTM, LSTMCell
+from repro.nn.module import clone_parameters
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def cell(rng):
+    return LSTMCell(input_size=3, hidden_size=4, rng=rng)
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, cell):
+        h, c = cell.zero_state(5)
+        x = Tensor(np.zeros((5, 3)))
+        h2, c2 = cell(x, (h, c))
+        assert h2.shape == (5, 4)
+        assert c2.shape == (5, 4)
+
+    def test_forget_bias_initialised_open(self, cell):
+        bias = cell.bias.data
+        assert np.allclose(bias[4:8], 1.0)
+        assert np.allclose(bias[:4], 0.0)
+
+    def test_rejects_bad_sizes(self, rng):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 4, rng)
+
+    def test_state_evolves(self, cell, rng):
+        h, c = cell.zero_state(1)
+        x = Tensor(rng.normal(size=(1, 3)))
+        h2, _ = cell(x, (h, c))
+        assert not np.allclose(h2.numpy(), 0.0)
+
+    def test_gradient_matches_finite_difference(self, cell, rng):
+        x_data = rng.normal(size=(2, 3))
+        params = dict(cell.named_parameters())
+
+        def loss_value() -> float:
+            h, c = cell.zero_state(2)
+            h2, c2 = cell(Tensor(x_data), (h, c))
+            return float((h2 * h2).sum().item() + c2.sum().item())
+
+        # Analytic gradient.
+        cell.zero_grad()
+        h, c = cell.zero_state(2)
+        h2, c2 = cell(Tensor(x_data), (h, c))
+        ((h2 * h2).sum() + c2.sum()).backward()
+
+        eps = 1e-6
+        for name in ("w_ih", "w_hh", "bias"):
+            p = params[name]
+            idx = (0,) if p.data.ndim == 1 else (0, 1)
+            orig = p.data[idx]
+            p.data[idx] = orig + eps
+            fp = loss_value()
+            p.data[idx] = orig - eps
+            fm = loss_value()
+            p.data[idx] = orig
+            num = (fp - fm) / (2 * eps)
+            assert p.grad[idx] == pytest.approx(num, abs=1e-5), name
+
+
+class TestLSTMLayer:
+    def test_output_shapes(self, rng):
+        lstm = LSTM(2, 6, rng)
+        x = Tensor(rng.normal(size=(3, 7, 2)))
+        out, (h, c) = lstm(x)
+        assert out.shape == (3, 7, 6)
+        assert h.shape == (3, 6)
+
+    def test_rejects_2d_input(self, rng):
+        lstm = LSTM(2, 6, rng)
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((3, 2))))
+
+    def test_last_output_equals_final_state(self, rng):
+        lstm = LSTM(2, 4, rng)
+        x = Tensor(rng.normal(size=(2, 5, 2)))
+        out, (h, _) = lstm(x)
+        assert np.allclose(out.numpy()[:, -1, :], h.numpy())
+
+    def test_functional_call_matches_direct(self, rng):
+        lstm = LSTM(2, 4, rng)
+        x = Tensor(rng.normal(size=(2, 5, 2)))
+        direct, _ = lstm(x)
+        overrides = clone_parameters(lstm)
+        via_ctx, _ = lstm.functional_call(overrides, x)
+        assert np.allclose(direct.numpy(), via_ctx.numpy())
+
+    def test_gradient_flows_through_time(self, rng):
+        lstm = LSTM(2, 4, rng)
+        x = Tensor(rng.normal(size=(1, 6, 2)), requires_grad=True)
+        out, _ = lstm(x)
+        out.sum().backward()
+        # Even the first time step receives gradient.
+        assert np.any(np.abs(x.grad[0, 0]) > 0)

@@ -1,0 +1,107 @@
+"""Tests for optimisers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam, clip_gradients
+from repro.nn.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Tensor(np.array([start]), requires_grad=True)
+
+
+def quad_loss(p):
+    return (p * p).sum()
+
+
+class TestSGD:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_non_grad_param(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0])], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quad_loss(p).backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-4
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = quadratic_param()
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                quad_loss(p).backward()
+                opt.step()
+            return abs(p.data[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no backward -> no grad -> no change
+        assert p.data[0] == 5.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            opt.zero_grad()
+            quad_loss(p).backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], betas=(1.0, 0.999))
+
+    def test_bias_correction_first_step(self):
+        # After one step with grad g, Adam moves by ~lr * sign(g).
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        quad_loss(p).backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1, abs=1e-6)
+
+
+class TestClipGradients:
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        (p * 2).sum().backward()
+        norm = clip_gradients([p], max_norm=10.0)
+        assert norm == pytest.approx(2.0)
+        assert np.allclose(p.grad, [2.0])
+
+    def test_clips_above_threshold(self):
+        p = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (p * p).sum().backward()  # grad = (6, 8), norm 10
+        clip_gradients([p], max_norm=5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(5.0, rel=1e-6)
+
+    def test_handles_missing_grads(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        assert clip_gradients([p], max_norm=1.0) == 0.0
+
+    def test_rejects_bad_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradients([], max_norm=0.0)

@@ -1,0 +1,85 @@
+"""Tests for the LSTM encoder-decoder mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import mse_loss
+from repro.nn.module import clone_parameters
+from repro.nn.optim import Adam
+from repro.nn.seq2seq import LSTMEncoderDecoder
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def model(rng):
+    return LSTMEncoderDecoder(input_size=2, hidden_size=8, seq_out=2, rng=rng)
+
+
+class TestShapes:
+    def test_forward_shape(self, model, rng):
+        x = Tensor(rng.normal(size=(4, 5, 2)))
+        assert model(x).shape == (4, 2, 2)
+
+    def test_rejects_2d(self, model):
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((5, 2))))
+
+    def test_rejects_bad_seq_out(self, rng):
+        with pytest.raises(ValueError):
+            LSTMEncoderDecoder(seq_out=0, rng=rng)
+
+    def test_predict_numpy_roundtrip(self, model, rng):
+        single = rng.normal(size=(5, 2))
+        out = model.predict(single)
+        assert out.shape == (2, 2)
+        batch = model.predict(single[None])
+        assert batch.shape == (1, 2, 2)
+        assert np.allclose(batch[0], out)
+
+
+class TestBehaviour:
+    def test_residual_head_keeps_output_near_input(self, rng):
+        """With near-zero head weights, predictions stay near the last point."""
+        model = LSTMEncoderDecoder(2, 8, seq_out=3, rng=rng)
+        for name, p in model.named_parameters():
+            if name.startswith("head."):
+                p.data = p.data * 0.0
+        x = rng.normal(size=(2, 4, 2))
+        pred = model.predict(x)
+        last = x[:, -1:, :]
+        assert np.allclose(pred, np.repeat(last, 3, axis=1))
+
+    def test_teacher_forcing_changes_later_steps_only(self, model, rng):
+        x = Tensor(rng.normal(size=(2, 4, 2)))
+        targets = Tensor(rng.normal(size=(2, 2, 2)))
+        free = model(x).numpy()
+        forced = model(x, targets=targets).numpy()
+        assert np.allclose(free[:, 0], forced[:, 0])  # first step identical
+        assert not np.allclose(free[:, 1], forced[:, 1])
+
+    def test_functional_call_identity(self, model, rng):
+        x = Tensor(rng.normal(size=(3, 4, 2)))
+        overrides = clone_parameters(model)
+        assert np.allclose(model(x).numpy(), model.functional_call(overrides, x).numpy())
+
+
+class TestTraining:
+    def test_learns_constant_displacement(self, rng):
+        """The model should learn 'keep moving by +delta' quickly."""
+        model = LSTMEncoderDecoder(2, 8, seq_out=1, rng=rng)
+        delta = np.array([0.05, -0.02])
+        starts = rng.uniform(0, 1, size=(64, 1, 2))
+        steps = np.arange(5).reshape(1, 5, 1)
+        x = starts + steps * delta
+        y = x[:, -1:, :] + delta
+        opt = Adam(model.parameters(), lr=0.01)
+        first_loss = None
+        for _ in range(60):
+            opt.zero_grad()
+            loss = mse_loss(model(Tensor(x)), Tensor(y))
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            opt.step()
+        final = mse_loss(model(Tensor(x)), Tensor(y)).item()
+        assert final < first_loss * 0.2

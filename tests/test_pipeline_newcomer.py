@@ -1,0 +1,73 @@
+"""Tests for newcomer onboarding (cold start, Challenge I)."""
+
+import numpy as np
+import pytest
+
+from repro.data import PortoConfig, generate_porto_workers
+from repro.data.didi import historical_task_locations
+from repro.data.windows import build_learning_tasks
+from repro.meta.maml import MAMLConfig
+from repro.pipeline.config import PredictionConfig
+from repro.pipeline.newcomer import onboard_worker
+from repro.pipeline.training import train_predictor
+
+
+def tiny_config(algorithm):
+    return PredictionConfig(
+        algorithm=algorithm,
+        loss="mse",
+        hidden_size=8,
+        fine_tune_optimizer="sgd",
+        fine_tune_steps=4,
+        fine_tune_lr=0.1,
+        maml=MAMLConfig(iterations=3, meta_batch=2, inner_steps=2, support_batch=8),
+    )
+
+
+@pytest.fixture(scope="module")
+def population():
+    city, workers = generate_porto_workers(PortoConfig(n_workers=10, n_train_days=3, seed=17))
+    newcomer = workers.pop()
+    hist = historical_task_locations(city, 100, seed=18)
+    learning = build_learning_tasks({w.worker_id: w.history for w in workers}, city, 5, 1)
+    return city, workers, newcomer, hist, learning
+
+
+@pytest.mark.parametrize("algorithm,expected_source", [
+    ("gttaml", "tree"),
+    ("ctml", "ctml"),
+    ("maml", "shared"),
+])
+def test_onboarding_selects_right_source(population, algorithm, expected_source):
+    city, workers, newcomer, hist, learning = population
+    predictor = train_predictor(learning, city, tiny_config(algorithm), hist)
+    result = onboard_worker(predictor, newcomer.worker_id, newcomer.history[:1])
+    assert result.source == expected_source
+    assert newcomer.worker_id in predictor.worker_params
+    assert 0.0 <= result.matching_rate <= 1.0
+
+
+def test_onboarded_worker_predicts(population):
+    city, workers, newcomer, hist, learning = population
+    predictor = train_predictor(learning, city, tiny_config("gttaml"), hist)
+    onboard_worker(predictor, newcomer.worker_id, newcomer.history[:1])
+    model = predictor.model_for(newcomer.worker_id)
+    pred = model.predict(np.random.default_rng(0).uniform(0, 1, size=(5, 2)))
+    assert pred.shape == (1, 2)
+    assert np.isfinite(pred).all()
+
+
+def test_onboarding_rejects_empty_history(population):
+    city, workers, newcomer, hist, learning = population
+    predictor = train_predictor(learning, city, tiny_config("gttaml"), hist)
+    short = [newcomer.history[0].slice_time(0.0, 15.0)]  # too few samples
+    with pytest.raises(ValueError):
+        onboard_worker(predictor, newcomer.worker_id, short)
+
+
+def test_tree_placement_node_level_recorded(population):
+    city, workers, newcomer, hist, learning = population
+    predictor = train_predictor(learning, city, tiny_config("gttaml"), hist)
+    result = onboard_worker(predictor, newcomer.worker_id, newcomer.history[:1])
+    assert result.node_level is not None
+    assert result.node_level >= 0

@@ -1,0 +1,71 @@
+"""Extra coverage for online prediction internals."""
+
+import numpy as np
+import pytest
+
+from repro.nn.seq2seq import LSTMEncoderDecoder
+from repro.pipeline.prediction import _recent_shared_track, rollout
+from repro.sc.entities import Worker
+from tests.conftest import straight_trajectory
+
+
+@pytest.fixture
+def model(rng):
+    return LSTMEncoderDecoder(2, 6, seq_out=2, rng=rng)
+
+
+class TestRollout:
+    def test_exact_horizon_lengths(self, model, rng):
+        recent = rng.uniform(0, 1, size=(4, 2))
+        for horizon in (1, 2, 3, 5, 7):
+            out = rollout(model, recent, horizon_points=horizon, seq_out=2)
+            assert out.shape == (horizon, 2)
+
+    def test_autoregressive_consistency(self, model, rng):
+        """The first seq_out points of a long rollout equal a short one."""
+        recent = rng.uniform(0, 1, size=(4, 2))
+        short = rollout(model, recent, horizon_points=2, seq_out=2)
+        long = rollout(model, recent, horizon_points=6, seq_out=2)
+        assert np.allclose(long[:2], short)
+
+    def test_does_not_mutate_input(self, model, rng):
+        recent = rng.uniform(0, 1, size=(4, 2))
+        snapshot = recent.copy()
+        rollout(model, recent, horizon_points=4, seq_out=2)
+        assert np.allclose(recent, snapshot)
+
+
+class TestRecentSharedTrack:
+    def _worker(self):
+        return Worker(
+            worker_id=0,
+            routine=straight_trajectory(t0=0.0, t1=100.0, n=11),
+            detour_budget_km=4.0,
+            speed_km_per_min=0.5,
+        )
+
+    def test_returns_last_samples_up_to_t(self):
+        w = self._worker()
+        xy, ts = _recent_shared_track(w, t=45.0, seq_in=3)
+        assert len(xy) == 3
+        assert ts[-1] <= 45.0
+        # Samples are every 10 minutes at x = t/10.
+        assert xy[-1][0] == pytest.approx(4.0)
+
+    def test_pads_at_day_start(self):
+        w = self._worker()
+        xy, _ = _recent_shared_track(w, t=5.0, seq_in=4)
+        assert len(xy) == 4
+        # Only one real sample exists; the rest repeat it.
+        assert np.allclose(xy[0], xy[1])
+
+    def test_before_any_sample_uses_position(self):
+        w = self._worker()
+        xy, ts = _recent_shared_track(w, t=-5.0, seq_in=2)
+        assert len(xy) == 2
+        assert np.isfinite(xy).all()
+
+    def test_never_leaks_future_samples(self):
+        w = self._worker()
+        xy, ts = _recent_shared_track(w, t=33.0, seq_in=5)
+        assert all(t <= 33.0 for t in ts)

@@ -1,0 +1,84 @@
+"""Tests for the workload factories."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    make_workload,
+    make_workload1,
+    make_workload2,
+)
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = WorkloadSpec()
+        assert spec.n_workers == 16
+        assert spec.valid_time_units == (3.0, 4.0)
+
+    def test_extra_kwargs_forwarded(self):
+        spec = WorkloadSpec(n_workers=4, n_tasks=10, extra_worker_kwargs={"noise_km": 0.9})
+        wl, _ = make_workload1(spec)
+        assert len(wl.workers) == 4
+
+
+class TestWorkload1:
+    def test_shapes(self):
+        wl, learning = make_workload1(WorkloadSpec(n_workers=5, n_tasks=30, n_train_days=3))
+        assert wl.name == "porto-didi"
+        assert len(wl.workers) == 5
+        assert len(wl.tasks) == 30
+        assert len(learning) == 5
+        assert wl.historical_tasks_xy.shape[1] == 2
+
+    def test_detour_flows_to_workers(self):
+        wl, _ = make_workload1(WorkloadSpec(n_workers=3, n_tasks=10, detour_km=7.5))
+        assert all(w.detour_budget_km == 7.5 for w in wl.workers)
+
+    def test_valid_time_flows_to_tasks(self):
+        wl, _ = make_workload1(WorkloadSpec(n_workers=3, n_tasks=20, valid_time_units=(1.0, 2.0)))
+        for t in wl.tasks:
+            assert 10.0 <= t.valid_minutes <= 20.0
+
+    def test_same_seed_same_routines_across_detours(self):
+        """Detour is a worker attribute, not a generator input: sweeping it
+        must not change the routines (predictors are reused across the
+        sweep in the figure benches)."""
+        a, _ = make_workload1(WorkloadSpec(n_workers=3, n_tasks=10, detour_km=2.0, seed=5))
+        b, _ = make_workload1(WorkloadSpec(n_workers=3, n_tasks=10, detour_km=10.0, seed=5))
+        for wa, wb in zip(a.workers, b.workers):
+            assert np.allclose(wa.routine.xy, wb.routine.xy)
+
+    def test_learning_tasks_match_workers(self):
+        wl, learning = make_workload1(WorkloadSpec(n_workers=4, n_tasks=10, n_train_days=3))
+        assert {t.worker_id for t in learning} == {w.worker_id for w in wl.workers}
+
+
+class TestWorkload2:
+    def test_shapes(self):
+        wl, learning = make_workload2(WorkloadSpec(n_workers=5, n_tasks=30, n_train_days=3))
+        assert wl.name == "gowalla-foursquare"
+        assert len(wl.workers) == 5
+        assert len(learning) == 5
+
+    def test_tasks_near_venues(self):
+        wl, _ = make_workload2(WorkloadSpec(n_workers=3, n_tasks=25))
+        poi_xy = np.array([[p.location.x, p.location.y] for p in wl.city.pois])
+        for t in wl.tasks:
+            d = np.sqrt(((poi_xy - [t.location.x, t.location.y]) ** 2).sum(axis=1)).min()
+            assert d < 0.5
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(WORKLOADS) == {"porto-didi", "gowalla-foursquare"}
+
+    def test_dispatch(self):
+        wl, _ = make_workload("gowalla-foursquare", WorkloadSpec(n_workers=3, n_tasks=10))
+        assert wl.name == "gowalla-foursquare"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_workload("mars-rover")

@@ -1,0 +1,219 @@
+"""Tests for the three learning-task similarities and the quality helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.similarity import (
+    cosine,
+    distribution_similarity,
+    gaussian_poi_kernel,
+    learning_path_similarity,
+    normalize_similarity_matrix,
+    similarity_matrix,
+    sliced_wasserstein,
+    spatial_similarity,
+    wasserstein_1d,
+    wasserstein_exact_2d,
+)
+
+
+class TestSpatial:
+    def _features(self, center, cat, n=10, seed=0):
+        rng = np.random.default_rng(seed)
+        xy = rng.normal(center, 0.2, size=(n, 2))
+        return np.column_stack([xy, np.full(n, float(cat))])
+
+    def test_identical_sets_high(self):
+        f = self._features([0, 0], 1)
+        assert spatial_similarity(f, f) > 0.8
+
+    def test_far_sets_low(self):
+        a = self._features([0, 0], 1)
+        b = self._features([100, 100], 1, seed=1)
+        assert spatial_similarity(a, b) < 1e-6
+
+    def test_category_mismatch_reduces(self):
+        a = self._features([0, 0], 1)
+        b = self._features([0, 0], 2, seed=1)
+        same = self._features([0, 0], 1, seed=1)
+        assert spatial_similarity(a, b, category_factor=0.5) < spatial_similarity(a, same)
+
+    def test_empty_returns_zero(self):
+        assert spatial_similarity(np.zeros((0, 3)), self._features([0, 0], 1)) == 0.0
+
+    def test_kernel_in_unit_interval(self):
+        a = self._features([0, 0], 1)
+        b = self._features([1, 1], 2, seed=2)
+        k = gaussian_poi_kernel(a, b)
+        assert np.all(k >= 0) and np.all(k <= 1)
+
+    def test_kernel_validates(self):
+        a = self._features([0, 0], 1)
+        with pytest.raises(ValueError):
+            gaussian_poi_kernel(a, a, bandwidth_km=0.0)
+        with pytest.raises(ValueError):
+            gaussian_poi_kernel(a, a, category_factor=2.0)
+
+    def test_symmetry(self):
+        a = self._features([0, 0], 1)
+        b = self._features([0.5, 0.5], 2, seed=3)
+        assert spatial_similarity(a, b) == pytest.approx(spatial_similarity(b, a))
+
+
+class TestLearningPath:
+    def test_cosine_basics(self):
+        assert cosine(np.array([1, 0]), np.array([1, 0])) == pytest.approx(1.0)
+        assert cosine(np.array([1, 0]), np.array([0, 1])) == pytest.approx(0.0)
+        assert cosine(np.array([1, 0]), np.array([-1, 0])) == pytest.approx(-1.0)
+        assert cosine(np.zeros(2), np.array([1, 0])) == 0.0
+
+    def test_cosine_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine(np.zeros(2), np.zeros(3))
+
+    def test_identical_paths(self, rng):
+        path = rng.normal(size=(3, 10))
+        assert learning_path_similarity(path, path) == pytest.approx(1.0)
+
+    def test_opposite_paths(self, rng):
+        path = rng.normal(size=(3, 10))
+        assert learning_path_similarity(path, -path) == pytest.approx(-1.0)
+
+    def test_common_prefix_when_lengths_differ(self, rng):
+        a = rng.normal(size=(5, 8))
+        b = a[:3]
+        assert learning_path_similarity(a, b) == pytest.approx(1.0)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            learning_path_similarity(rng.normal(size=(2, 4)), rng.normal(size=(2, 5)))
+
+
+class TestWasserstein1D:
+    def test_identical(self, rng):
+        u = rng.normal(size=50)
+        assert wasserstein_1d(u, u) == pytest.approx(0.0)
+
+    def test_shift(self, rng):
+        u = rng.normal(size=100)
+        assert wasserstein_1d(u, u + 2.0) == pytest.approx(2.0, abs=1e-9)
+
+    def test_unequal_sizes_match_scipy(self, rng):
+        from scipy.stats import wasserstein_distance
+
+        u = rng.normal(size=37)
+        v = rng.normal(1.0, 2.0, size=53)
+        assert wasserstein_1d(u, v) == pytest.approx(wasserstein_distance(u, v), rel=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            wasserstein_1d(np.zeros(0), np.ones(3))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000), shift=st.floats(-5, 5))
+    def test_property_matches_scipy(self, seed, shift):
+        from scipy.stats import wasserstein_distance
+
+        rng = np.random.default_rng(seed)
+        u = rng.normal(size=rng.integers(2, 40))
+        v = rng.normal(shift, 1.5, size=rng.integers(2, 40))
+        assert wasserstein_1d(u, v) == pytest.approx(wasserstein_distance(u, v), rel=1e-6, abs=1e-9)
+
+
+class TestWassersteinPlanar:
+    def test_exact_identical(self, rng):
+        pts = rng.normal(size=(10, 2))
+        assert wasserstein_exact_2d(pts, pts) == pytest.approx(0.0)
+
+    def test_exact_translation(self, rng):
+        pts = rng.normal(size=(15, 2))
+        shifted = pts + np.array([3.0, 4.0])
+        assert wasserstein_exact_2d(pts, shifted) == pytest.approx(5.0)
+
+    def test_exact_requires_equal_sizes(self, rng):
+        with pytest.raises(ValueError):
+            wasserstein_exact_2d(rng.normal(size=(3, 2)), rng.normal(size=(4, 2)))
+
+    def test_sliced_lower_bounds_exact(self, rng):
+        a = rng.normal(size=(20, 2))
+        b = rng.normal(2.0, 1.0, size=(20, 2))
+        sliced = sliced_wasserstein(a, b, n_projections=128, rng=rng)
+        exact = wasserstein_exact_2d(a, b)
+        assert sliced <= exact + 1e-6
+
+    def test_sliced_1d_is_exact(self, rng):
+        u = rng.normal(size=30)
+        v = rng.normal(1.0, size=30)
+        assert sliced_wasserstein(u, v) == pytest.approx(wasserstein_1d(u, v))
+
+    def test_sliced_symmetry(self, rng):
+        a = rng.normal(size=(12, 2))
+        b = rng.normal(size=(15, 2))
+        s1 = sliced_wasserstein(a, b, rng=np.random.default_rng(0))
+        s2 = sliced_wasserstein(b, a, rng=np.random.default_rng(0))
+        assert s1 == pytest.approx(s2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sliced_wasserstein(rng.normal(size=(3, 2)), rng.normal(size=(3, 3)))
+        with pytest.raises(ValueError):
+            sliced_wasserstein(rng.normal(size=(3, 2)), rng.normal(size=(3, 2)), n_projections=0)
+
+
+class TestDistributionSimilarity:
+    def test_bounded_mode_in_unit_interval(self, rng):
+        a = rng.normal(size=(20, 2))
+        b = rng.normal(5.0, 1.0, size=(20, 2))
+        s = distribution_similarity(a, b)
+        assert 0.0 < s <= 1.0
+
+    def test_identical_max(self, rng):
+        a = rng.normal(size=(20, 2))
+        assert distribution_similarity(a, a) == pytest.approx(1.0)
+
+    def test_reciprocal_mode(self, rng):
+        a = rng.normal(size=(16, 2))
+        b = a + np.array([2.0, 0.0])
+        s = distribution_similarity(a, b, method="exact", mode="reciprocal")
+        assert s == pytest.approx(0.5)
+
+    def test_ordering_preserved(self, rng):
+        a = rng.normal(size=(20, 2))
+        near = a + 0.5
+        far = a + 5.0
+        assert distribution_similarity(a, near) > distribution_similarity(a, far)
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError):
+            distribution_similarity(rng.normal(size=(3, 2)), rng.normal(size=(3, 2)), method="x")
+
+
+class TestSimilarityMatrix:
+    def test_symmetric_unit_diagonal(self, rng):
+        items = [rng.normal(size=5) for _ in range(6)]
+        sim = similarity_matrix(items, lambda a, b: float(np.dot(a, b)))
+        assert np.allclose(sim, sim.T)
+        assert np.allclose(np.diag(sim), 1.0)
+        assert sim.min() >= 0.0 and sim.max() <= 1.0
+
+    def test_normalize_constant_matrix(self):
+        sim = np.full((4, 4), 0.5)
+        out = normalize_similarity_matrix(sim)
+        assert np.allclose(out, 1.0)
+
+    def test_normalize_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            normalize_similarity_matrix(np.zeros((2, 3)))
+
+    def test_normalize_range(self, rng):
+        raw = rng.uniform(-3, 7, size=(5, 5))
+        raw = (raw + raw.T) / 2
+        out = normalize_similarity_matrix(raw)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert np.allclose(np.diag(out), 1.0)
+
+    def test_single_item(self):
+        sim = similarity_matrix([np.zeros(2)], lambda a, b: 0.0)
+        assert sim.shape == (1, 1)
+        assert sim[0, 0] == 1.0
