@@ -1,0 +1,141 @@
+"""Benchmark: fused BPTT kernels vs the autograd tape.
+
+Times one inner-loop training step (forward + full BPTT + gradient
+dict + SGD update) of the mobility seq2seq model three ways:
+
+* ``tape``    — the reference path (``functional_call`` + ``grad_of``);
+* ``fused``   — the hand-derived kernels of :mod:`repro.nn.fused`;
+* ``batched`` — one stacked fused pass adapting ``workers`` models at
+  once (the meta-training fast path), reported per worker.
+
+Shapes cover the pipeline defaults (``PredictionConfig``: hidden 16,
+seq_in 5, seq_out 1; ``MAMLConfig``: support batch 16, meta batch 12)
+plus the smaller support-subsample batch and a larger model variant.
+
+Writes ``BENCH_nn_fastpath.json`` at the repo root; the committed copy
+is the baseline ``benchmarks/check_regression.py`` guards.  Timings
+are best-of-N per path; on a shared host the absolute numbers drift
+between runs, the tape/fused ratios much less.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.meta.maml import _named_grads
+from repro.nn import fused
+from repro.nn.losses import mse_loss
+from repro.nn.module import apply_gradient_step
+from repro.nn.seq2seq import make_mobility_model
+from repro.nn.tensor import Tensor
+
+OUTPUT = Path(__file__).parent.parent / "BENCH_nn_fastpath.json"
+
+COMMON = {"seq_in": 5, "features": 2, "workers": 12, "inner_lr": 0.05}
+
+# name -> (hidden_size, seq_out, batch)
+SHAPES = {
+    "pipeline_default": (16, 1, 16),
+    "support_subsample": (16, 1, 8),
+    "large_model": (32, 3, 16),
+}
+
+HEADLINE = "pipeline_default"
+
+
+def _time(fn, repeats: int, warmup: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_shape(hidden: int, seq_out: int, batch: int, repeats: int) -> dict:
+    rng = np.random.default_rng(0)
+    model = make_mobility_model(
+        "lstm", input_size=COMMON["features"], hidden_size=hidden, seq_out=seq_out, rng=rng,
+    )
+    x = rng.normal(size=(batch, COMMON["seq_in"], COMMON["features"]))
+    y = rng.normal(size=(batch, seq_out, COMMON["features"]))
+    own = dict(model.named_parameters())
+    lr = COMMON["inner_lr"]
+
+    def tape_step():
+        params = {k: v.clone(requires_grad=True) for k, v in own.items()}
+        pred = model.functional_call(params, Tensor(x))
+        grads = _named_grads(mse_loss(pred, Tensor(y)), params)
+        apply_gradient_step(params, grads, lr)
+
+    def fused_step():
+        params = {k: v.data.copy() for k, v in own.items()}
+        _, grads = fused.loss_and_grads(model, params, x, y, mse_loss)
+        for name in params:
+            params[name] -= lr * grads[name]
+
+    workers = COMMON["workers"]
+    xs = [rng.normal(size=(batch, COMMON["seq_in"], COMMON["features"])) for _ in range(workers)]
+    ys = [rng.normal(size=(batch, seq_out, COMMON["features"])) for _ in range(workers)]
+
+    def batched_step():
+        stacked = fused.replicate_params(own, workers)
+        _, grads = fused.batched_loss_and_grads(model, stacked, xs, ys, mse_loss)
+        for name in stacked:
+            stacked[name] -= lr * grads[name]
+
+    tape_s = _time(tape_step, repeats)
+    fused_s = _time(fused_step, repeats)
+    batched_s = _time(batched_step, max(repeats // 2, 10))
+    per_worker = batched_s / workers
+    return {
+        "hidden_size": hidden,
+        "seq_out": seq_out,
+        "batch": batch,
+        "timings_s": {
+            "tape_step": tape_s,
+            "fused_step": fused_s,
+            "batched_step_total": batched_s,
+            "batched_step_per_worker": per_worker,
+        },
+        "speedup": {
+            "single": tape_s / fused_s,
+            "batched": tape_s / per_worker,
+        },
+    }
+
+
+def run(repeats: int = 60) -> dict:
+    shapes = {name: bench_shape(*dims, repeats) for name, dims in SHAPES.items()}
+    return {
+        "config": COMMON,
+        "headline_shape": HEADLINE,
+        "shapes": shapes,
+        "speedup": shapes[HEADLINE]["speedup"],
+    }
+
+
+def main() -> None:
+    result = run()
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    for name, entry in result["shapes"].items():
+        t = entry["timings_s"]
+        print(
+            f"{name:18s} h={entry['hidden_size']:<3d} so={entry['seq_out']} B={entry['batch']:<3d}"
+            f" tape {t['tape_step'] * 1e3:7.3f} ms"
+            f" | fused {t['fused_step'] * 1e3:7.3f} ms ({entry['speedup']['single']:.1f}x)"
+            f" | batched/worker {t['batched_step_per_worker'] * 1e3:7.3f} ms"
+            f" ({entry['speedup']['batched']:.1f}x)"
+        )
+    print(f"[saved to {OUTPUT}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Guard the fused-kernel speedups against performance regressions.
+
+Re-runs :mod:`benchmarks.bench_nn_fastpath` and compares the measured
+tape/fused speedup *ratios* against the committed baseline
+``BENCH_nn_fastpath.json``; a shape whose ratio drops by more than
+``TOLERANCE`` (20%) fails.  Ratios are compared rather than absolute
+times because both paths slow down together under host load, so the
+ratio is the stable quantity on shared machines.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+or as an opt-in pytest check (not collected by the default test run,
+which only looks under ``tests/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m fastpath_bench
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_nn_fastpath import OUTPUT, run  # noqa: E402
+
+TOLERANCE = 0.20
+REPEATS = 40
+
+
+def compare(baseline: dict, current: dict) -> list[str]:
+    """Return one failure message per shape regressed beyond tolerance."""
+    failures = []
+    for name, base_entry in baseline["shapes"].items():
+        cur_entry = current["shapes"].get(name)
+        if cur_entry is None:
+            failures.append(f"{name}: shape missing from current run")
+            continue
+        for path in ("single", "batched"):
+            base = base_entry["speedup"][path]
+            cur = cur_entry["speedup"][path]
+            floor = base * (1.0 - TOLERANCE)
+            if cur < floor:
+                failures.append(
+                    f"{name}/{path}: speedup {cur:.2f}x fell below "
+                    f"{floor:.2f}x (baseline {base:.2f}x - {TOLERANCE:.0%})"
+                )
+    return failures
+
+
+def check() -> list[str]:
+    if not OUTPUT.exists():
+        raise FileNotFoundError(
+            f"no baseline at {OUTPUT}; run benchmarks/bench_nn_fastpath.py first"
+        )
+    baseline = json.loads(OUTPUT.read_text())
+    failures: list[str] = []
+    # A transient host-load spike can sink one measurement pass; only a
+    # regression that reproduces on an immediate re-measure counts.
+    for attempt in range(2):
+        current = run(repeats=REPEATS)
+        for name, entry in current["shapes"].items():
+            base = baseline["shapes"].get(name, {}).get("speedup", {})
+            print(
+                f"{name:18s} single {entry['speedup']['single']:5.2f}x"
+                f" (baseline {base.get('single', float('nan')):5.2f}x)"
+                f" | batched {entry['speedup']['batched']:5.2f}x"
+                f" (baseline {base.get('batched', float('nan')):5.2f}x)"
+            )
+        failures = compare(baseline, current)
+        if not failures:
+            break
+        if attempt == 0:
+            print("below tolerance; re-measuring once to rule out host noise")
+    return failures
+
+
+@pytest.mark.fastpath_bench
+def test_fastpath_no_regression():
+    failures = check()
+    assert not failures, "fast-path speedup regressed:\n" + "\n".join(failures)
+
+
+def main() -> int:
+    failures = check()
+    if failures:
+        print("REGRESSION:", *failures, sep="\n  ")
+        return 1
+    print("OK: fused-kernel speedups within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,9 +13,13 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.meta.learning_task import LearningTask
-from repro.similarity.distribution import distribution_similarity
+from repro.similarity.distribution import pairwise_sliced_wasserstein
 from repro.similarity.learning_path import learning_path_similarity
-from repro.similarity.quality import normalize_similarity_matrix, similarity_matrix
+from repro.similarity.quality import (
+    finalize_similarity_matrix,
+    normalize_similarity_matrix,
+    similarity_matrix,
+)
 from repro.similarity.spatial import spatial_similarity
 
 FACTOR_NAMES = ("distribution", "spatial", "learning_path")
@@ -38,17 +42,14 @@ def build_similarity_matrices(
     out: dict[str, np.ndarray] = {}
     for factor in factors:
         if factor == "distribution":
-            # A fresh generator per pair keeps the sliced-Wasserstein
-            # projections identical across pairs: one consistent metric.
-            out[factor] = similarity_matrix(
-                list(tasks),
-                lambda a, b: distribution_similarity(
-                    a.location_sample,
-                    b.location_sample,
-                    method="sliced",
-                    rng=np.random.default_rng(seed),
-                ),
+            # The projection directions are shared across every pair (one
+            # consistent metric); each task's sample is projected and
+            # sorted once, not once per pair.
+            distances = pairwise_sliced_wasserstein(
+                [t.location_sample for t in tasks],
+                rng=np.random.default_rng(seed),
             )
+            out[factor] = finalize_similarity_matrix(1.0 / (1.0 + distances))
         elif factor == "spatial":
             out[factor] = similarity_matrix(
                 list(tasks),

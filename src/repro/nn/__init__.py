@@ -29,6 +29,7 @@ from repro.nn.losses import (
     TaskDensityWeighter,
     make_loss,
 )
+from repro.nn import fused
 
 __all__ = [
     "Tensor",
@@ -61,4 +62,5 @@ __all__ = [
     "weighted_mse_loss",
     "TaskDensityWeighter",
     "make_loss",
+    "fused",
 ]

@@ -1,0 +1,838 @@
+"""Fused forward+backward (full BPTT) kernels for the recurrent stack.
+
+The autograd tape in :mod:`repro.nn.tensor` is the *reference*
+implementation: every gate of every timestep allocates tape closures,
+so training throughput on the small mobility models is dominated by
+Python/tape overhead rather than numpy FLOPs.  This module removes the
+tape from the hot path with hand-derived kernels built around three
+ideas:
+
+* **One cached forward, one reverse sweep.**  The forward pass writes
+  each step's gate activations into preallocated per-sequence stacks;
+  the reverse sweep reads them back and overwrites them in place with
+  the gate gradients — no per-op graph, no topological sort, and no
+  per-step arrays are ever stacked or concatenated.
+* **Factored backward.**  Everything in the backward recurrence that
+  does not depend on the running carry ``dh``/``dc`` — the products of
+  gate values with their activation jacobians — is precomputed once
+  over the whole sequence with a handful of vectorized ufuncs, leaving
+  fewer than ten numpy calls per reverse step.  Parameter gradients
+  are then accumulated with one matmul per parameter, summing over
+  batch and time at once.
+* **Contiguity-aware memory layout.**  Scratch stacks are *time-major*
+  (``(..., T, B, K)``), so the slice a step touches is one contiguous
+  block rather than ``B`` scattered rows — on the stacked multi-worker
+  path this roughly halves the cost of every in-place ufunc.  LSTM
+  gate columns are additionally permuted from the module layout
+  ``[i, f, g, o]`` to ``[i, f, o, g]`` (an involution on the weight
+  columns) so the three sigmoid gates form one contiguous block and a
+  single activation chain covers them all.
+
+The seq2seq encoder-decoder unroll of :mod:`repro.nn.seq2seq` is fused
+end to end, covering both decode modes (teacher forcing and
+autoregressive feedback, where the gradient flows back through the
+emitted points).
+
+Losses stay generic: the loss (including the task assignment-oriented
+weighted MSE of Eqs. 6-7) is evaluated through a *tiny* tape over the
+prediction tensor only (:func:`loss_grad_wrt_pred`), which costs a
+handful of nodes instead of thousands, so any ``LossFn`` the tape path
+accepts works on the fast path with identical values; plain MSE/MAE
+additionally get closed-form gradients.
+
+Every kernel also runs **stacked**: give the arrays a leading worker
+axis — inputs ``(W, B, T, F)``, parameters ``(W, F, 4H)`` — and numpy's
+batched matmul adapts ``W`` workers' models in a single pass (the
+batched meta-training fast path).  Padding rows are masked by zeroing
+their entries of ``dL/dpred``; because every window's forward pass is
+independent across the batch axis, zero upstream gradient makes a
+padded row contribute exactly nothing to any parameter gradient.
+
+Equivalence with the tape is exact up to floating-point associativity:
+the forward pass replays the tape's operation order (including the
+sigmoid input clamping), and the gradient checks in
+``tests/test_nn_fused.py`` pin both paths together at ``rtol=1e-6``.
+See ``DESIGN.md`` §8 for the derivation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.nn.losses import mae_loss, mse_loss
+from repro.nn.tensor import Tensor
+
+Array = np.ndarray
+LossFn = Callable[[Tensor, Tensor], Tensor]
+
+# Above this element count, a strided sigmoid runs faster as one strided
+# read + a contiguous in-place chain + one strided write-back; below it,
+# the pure in-place chain wins on allocation cost.  Either branch emits
+# bit-identical values.
+_SIGMOID_ALLOC_THRESHOLD = 4096
+
+
+def _sigmoid_(z: Array) -> Array:
+    """In-place sigmoid on ``z``, bit-identical to ``Tensor.sigmoid``.
+
+    The tape clips the input to ``[-60, 60]`` before ``exp``.  The lower
+    clamp changes emitted values (``sigmoid(-70) != sigmoid(-60)`` in
+    float64) and is kept; the upper clamp is dropped because for every
+    ``z > 37`` — well below the 60 where it would bite — ``1 + exp(-z)``
+    already rounds to exactly 1.0, so clamped and unclamped agree bit
+    for bit.
+    """
+    if z.size >= _SIGMOID_ALLOC_THRESHOLD and not z.flags.c_contiguous:
+        out = np.maximum(z, -60.0)
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.reciprocal(out, out=out)
+        z[...] = out
+        return z
+    np.maximum(z, -60.0, out=z)
+    np.negative(z, out=z)
+    np.exp(z, out=z)
+    z += 1.0
+    np.reciprocal(z, out=z)
+    return z
+
+
+def _mT(a: Array) -> Array:
+    return a.swapaxes(-1, -2)
+
+
+def _tmaj(a: Array) -> Array:
+    # Batch-major (..., B, T, K) <-> time-major (..., T, B, K); a view.
+    return a.swapaxes(-3, -2)
+
+
+def _bc_w(w: Array) -> Array:
+    # Align a worker-stacked weight for a time-stacked matmul:
+    # (W, F, K) against inputs (W, T, B, F) needs a broadcast T axis.
+    return w[..., None, :, :] if w.ndim > 2 else w
+
+
+def _proj(x: Array, w: Array) -> Array:
+    # Whole-sequence projection (..., T, B, F) @ (..., F, K) -> (..., T, B, K).
+    # Worker-stacked weights flatten (T, B) first so each worker is one
+    # gemm instead of T; 2-D weights already hit a single gemm.
+    if w.ndim > 2:
+        out = _flatten_tb(x) @ w
+        return out.reshape(x.shape[:-1] + (w.shape[-1],))
+    return x @ w
+
+
+def _flatten_tb(a: Array) -> Array:
+    # (..., T, B, K) -> (..., T*B, K) so one matmul sums over batch AND time.
+    return a.reshape(a.shape[:-3] + (a.shape[-3] * a.shape[-2], a.shape[-1]))
+
+
+def _perm_ifog(w: Array) -> Array:
+    """Swap the last two LSTM gate blocks: ``[i,f,g,o]`` <-> ``[i,f,o,g]``.
+
+    An involution on the last axis, applied to the weights on the way in
+    and to the weight gradients on the way out.  Matmuls are column-exact
+    under the permutation, so every emitted number matches the
+    unpermuted computation bit for bit.
+    """
+    n = w.shape[-1] // 4
+    return np.concatenate((w[..., : 2 * n], w[..., 3 * n :], w[..., 2 * n : 3 * n]), axis=-1)
+
+
+def _as_array(value) -> Array:
+    return value.data if isinstance(value, Tensor) else np.asarray(value, dtype=np.float64)
+
+
+def as_param_arrays(params: Mapping[str, "Tensor | Array"]) -> dict[str, Array]:
+    """Unwrap a parameter mapping (tensors or arrays) to plain arrays."""
+    return {name: _as_array(value) for name, value in params.items()}
+
+
+# ----------------------------------------------------------------------
+# sequence kernels
+# ----------------------------------------------------------------------
+class _LSTMKernel:
+    """One LSTM unroll: scratch stacks, forward steps, factored reverse.
+
+    Derivation (module gate order ``[i, f, g, o]``, ``c' = f c + i g``,
+    ``h' = o tanh(c')``): with ``T = tanh(c')``,
+
+        do = dh' T            dc_tot = dc' + dh' o (1 - T^2)
+        di = dc_tot g         df = dc_tot c        dg = dc_tot i
+        dc_prev = dc_tot f    dh_prev = dgates W_hh^T
+
+    and each pre-activation gets the matching sigmoid/tanh jacobian.
+    Those jacobian products depend only on cached activations, so
+    :meth:`prepare_backward` evaluates them for all steps at once and
+    :meth:`back_step` is left with only the carry-dependent work.
+
+    Scratch stacks are time-major (``(..., T, B, K)``); gate columns are
+    held permuted as ``[i, f, o, g]`` (see :func:`_perm_ifog`) so one
+    sigmoid chain covers all three sigmoid gates.
+    """
+
+    __slots__ = ("w_ih", "w_hh", "bias", "n", "h0", "c0", "state_in",
+                 "x", "G", "C", "TC", "OUT", "_factors")
+
+    def __init__(self, params, prefix: str, lead: tuple, steps: int, state=None):
+        self.w_ih = _perm_ifog(_as_array(params[prefix + "w_ih"]))
+        self.w_hh = _perm_ifog(_as_array(params[prefix + "w_hh"]))
+        self.bias = _perm_ifog(_as_array(params[prefix + "bias"]))
+        n = self.w_hh.shape[-2]
+        self.n = n
+        self.state_in = state is not None
+        if state is not None:
+            self.h0, self.c0 = state
+        else:
+            self.h0 = np.zeros(lead + (n,))
+            self.c0 = np.zeros(lead + (n,))
+        stack = lead[:-1] + (steps, lead[-1])
+        self.x = None  # time-major inputs (..., T, B, F); set by the driver
+        self.G = np.empty(stack + (4 * n,))  # gates, then dgates
+        self.C = np.empty(stack + (n,))      # cell state
+        self.TC = np.empty(stack + (n,))     # tanh(cell state)
+        self.OUT = np.empty(stack + (n,))    # hidden state
+        self._factors = None
+
+    def input_proj(self, x: Array) -> Array:
+        """Hoist the input projection out of the recurrence (one matmul)."""
+        return _proj(x, self.w_ih)
+
+    def step(self, t: int, xp_t: Array, h: Array, c: Array) -> tuple[Array, Array]:
+        """One forward step; ``xp_t`` is ``x_t @ w_ih`` (bias not yet added)."""
+        n = self.n
+        g = self.G[..., t, :, :]
+        np.add(xp_t, h @ self.w_hh, out=g)
+        g += self.bias[..., None, :]
+        _sigmoid_(g[..., : 3 * n])
+        gg = g[..., 3 * n :]
+        np.tanh(gg, out=gg)
+        c_new = self.C[..., t, :, :]
+        np.multiply(g[..., n : 2 * n], c, out=c_new)
+        c_new += g[..., :n] * gg
+        tc = self.TC[..., t, :, :]
+        np.tanh(c_new, out=tc)
+        h_new = self.OUT[..., t, :, :]
+        np.multiply(g[..., 2 * n : 3 * n], tc, out=h_new)
+        return h_new, c_new
+
+    def prepare_backward(self) -> None:
+        """Precompute the carry-independent jacobian factors, all steps.
+
+        Each factor is built with allocating ufuncs over the whole
+        stack: strided gate-block *reads* are cheap, and keeping the
+        *outputs* contiguous beats packing the factors into one
+        gate-shaped array (strided block writes cost more than the
+        allocations save).
+        """
+        n = self.n
+        G, TC, C = self.G, self.TC, self.C
+        i = G[..., :n]
+        f = G[..., n : 2 * n]
+        o = G[..., 2 * n : 3 * n]
+        g = G[..., 3 * n :]
+        cp = np.empty_like(C)  # c_{t-1} aligned with step t
+        cp[..., 0, :, :] = self.c0
+        cp[..., 1:, :, :] = C[..., :-1, :, :]
+        a = np.multiply(TC, TC)  # o (1 - T^2): dc_tot per unit dh
+        np.subtract(1.0, a, out=a)
+        a *= o
+        eo = np.subtract(1.0, o)  # T o (1 - o): o-gate jacobian per unit dh
+        eo *= o
+        eo *= TC
+        bi = np.subtract(1.0, i)  # g i (1 - i): i-gate jacobian per unit dc_tot
+        bi *= i
+        bi *= g
+        cf = np.subtract(1.0, f)  # c_prev f (1 - f): f-gate jacobian per unit dc_tot
+        cf *= f
+        cf *= cp
+        dg = np.multiply(g, g)  # i (1 - g^2): candidate jacobian per unit dc_tot
+        np.subtract(1.0, dg, out=dg)
+        dg *= i
+        self._factors = (a, bi, cf, dg, eo)
+
+    def back_step(self, t: int, dh: Array, dc: Array | None) -> tuple[Array, Array]:
+        """Elementwise reverse of step ``t``; returns ``(dgates_t, dc_prev)``.
+
+        Overwrites gate slice ``t`` with the pre-activation gradients.
+        The caller owns the ``dgates @ w_hh^T`` matmul so sequence
+        drivers can fold their own upstream terms into the carry.
+        ``dc`` is ``None`` when the last step has no cell-state gradient.
+        """
+        n = self.n
+        a, bi, cf, dg, eo = self._factors
+        g = self.G[..., t, :, :]
+        dct = dh * a[..., t, :, :]
+        if dc is not None:
+            dct += dc
+        dc_prev = dct * g[..., n : 2 * n]  # read f before overwriting it
+        np.multiply(dh, eo[..., t, :, :], out=g[..., 2 * n : 3 * n])
+        np.multiply(dct, bi[..., t, :, :], out=g[..., :n])
+        np.multiply(dct, cf[..., t, :, :], out=g[..., n : 2 * n])
+        np.multiply(dct, dg[..., t, :, :], out=g[..., 3 * n :])
+        return g, dc_prev
+
+    def grads(self, out: dict[str, Array], prefix: str) -> dict[str, Array]:
+        """Parameter gradients from the completed sweep, into ``out``."""
+        DG = self.G  # overwritten in place by back_step
+        dg_flat = _flatten_tb(DG)
+        w_ih_g = _mT(_flatten_tb(self.x)) @ dg_flat
+        # h_prev for step t is OUT[t-1]; the t=0 term uses h0, which is
+        # identically zero unless an initial state was fed in.
+        w_hh_g = _mT(_flatten_tb(self.OUT[..., :-1, :, :])) @ _flatten_tb(DG[..., 1:, :, :])
+        if self.state_in:
+            w_hh_g += _mT(self.h0) @ DG[..., 0, :, :]
+        out[prefix + "w_ih"] = _perm_ifog(w_ih_g)
+        out[prefix + "w_hh"] = _perm_ifog(w_hh_g)
+        out[prefix + "bias"] = _perm_ifog(DG.sum(axis=(-3, -2)))
+        return out
+
+    def dx(self) -> Array:
+        """Time-major input gradients for the whole sequence (one matmul)."""
+        return _proj(self.G, _mT(self.w_ih))
+
+
+class _GRUKernel:
+    """One GRU unroll (gate order ``[r, z]``: both sigmoids, already one
+    contiguous block, so no column permutation is needed).
+
+    ``h' = z h + (1 - z) n`` with ``n = tanh(x W_ic + (r h) W_hc + b_c)``:
+
+        dz = dh' (h - n)      dn = dh' (1 - z)     dh += dh' z
+        dn_pre = dn (1 - n^2) d(rh) = dn_pre W_hc^T
+        dr = d(rh) h          dh += d(rh) r
+
+    As in :class:`_LSTMKernel`, the activation-jacobian factors are
+    precomputed over the whole sequence; the candidate stack is
+    overwritten in place by ``dn_pre`` during the sweep.
+    """
+
+    __slots__ = ("w_ih", "w_hh", "bias", "w_ic", "w_hc", "bias_c", "n",
+                 "h0", "state_in", "x", "G", "RH", "CAND", "OUT", "_factors")
+
+    def __init__(self, params, prefix: str, lead: tuple, steps: int, state=None):
+        self.w_ih = _as_array(params[prefix + "w_ih"])
+        self.w_hh = _as_array(params[prefix + "w_hh"])
+        self.bias = _as_array(params[prefix + "bias"])
+        self.w_ic = _as_array(params[prefix + "w_ic"])
+        self.w_hc = _as_array(params[prefix + "w_hc"])
+        self.bias_c = _as_array(params[prefix + "bias_c"])
+        n = self.w_hh.shape[-2]
+        self.n = n
+        self.state_in = state is not None
+        self.h0 = state if state is not None else np.zeros(lead + (n,))
+        stack = lead[:-1] + (steps, lead[-1])
+        self.x = None  # time-major inputs (..., T, B, F); set by the driver
+        self.G = np.empty(stack + (2 * n,))  # [r, z] gates, then dgates
+        self.RH = np.empty(stack + (n,))     # r * h_prev
+        self.CAND = np.empty(stack + (n,))   # candidate, then dn_pre
+        self.OUT = np.empty(stack + (n,))    # hidden state
+        self._factors = None
+
+    def input_proj(self, x: Array) -> tuple[Array, Array]:
+        return _proj(x, self.w_ih), _proj(x, self.w_ic)
+
+    def step(self, t: int, xp_t: Array, cp_t: Array, h: Array) -> Array:
+        """One forward step; ``xp_t``/``cp_t`` are the two input
+        projections ``x_t @ w_ih`` and ``x_t @ w_ic`` (biases pending)."""
+        n = self.n
+        g = self.G[..., t, :, :]
+        np.add(xp_t, h @ self.w_hh, out=g)
+        g += self.bias[..., None, :]
+        _sigmoid_(g)
+        r = g[..., :n]
+        z = g[..., n:]
+        rh = self.RH[..., t, :, :]
+        np.multiply(r, h, out=rh)
+        pre = self.CAND[..., t, :, :]
+        np.add(cp_t, rh @ self.w_hc, out=pre)
+        pre += self.bias_c[..., None, :]
+        np.tanh(pre, out=pre)  # pre is now the candidate
+        h_new = self.OUT[..., t, :, :]
+        np.multiply(z, h, out=h_new)
+        h_new += (1.0 - z) * pre
+        return h_new
+
+    def prepare_backward(self) -> None:
+        n = self.n
+        G, CAND = self.G, self.CAND
+        r = G[..., :n]
+        z = G[..., n:]
+        hp = np.empty_like(self.OUT)  # h_{t-1} aligned with step t
+        hp[..., 0, :, :] = self.h0
+        hp[..., 1:, :, :] = self.OUT[..., :-1, :, :]
+        omz = np.subtract(1.0, z)
+        f_pre = np.multiply(CAND, CAND)  # (1 - z)(1 - n^2): dn_pre per unit dh
+        np.subtract(1.0, f_pre, out=f_pre)
+        f_pre *= omz
+        f_z = np.subtract(hp, CAND)  # (h_prev - n) z (1 - z): z-gate jacobian
+        f_z *= z
+        f_z *= omz
+        f_r = np.subtract(1.0, r)  # h_prev r (1 - r): r-gate jacobian per unit d(rh)
+        f_r *= r
+        f_r *= hp
+        self._factors = (f_pre, f_z, f_r, hp)
+
+    def back_step(self, t: int, dh: Array) -> tuple[Array, Array, Array]:
+        """Reverse of step ``t``; returns ``(dgates_t, dn_pre_t, dh_partial)``.
+
+        The caller finishes the carry with
+        ``dh_prev = dh_partial + dgates @ w_hh^T``.
+        """
+        n = self.n
+        f_pre, f_z, f_r, _ = self._factors
+        g = self.G[..., t, :, :]
+        r = g[..., :n]
+        z = g[..., n:]
+        dpre = self.CAND[..., t, :, :]
+        np.multiply(dh, f_pre[..., t, :, :], out=dpre)
+        drh = dpre @ _mT(self.w_hc)
+        dh_partial = dh * z    # read z before overwriting it
+        dh_partial += drh * r  # read r before overwriting it
+        np.multiply(drh, f_r[..., t, :, :], out=r)
+        np.multiply(dh, f_z[..., t, :, :], out=z)
+        return g, dpre, dh_partial
+
+    def grads(self, out: dict[str, Array], prefix: str) -> dict[str, Array]:
+        DG, DP = self.G, self.CAND
+        hp = self._factors[3]
+        dg_flat = _flatten_tb(DG)
+        dp_flat = _flatten_tb(DP)
+        x_flat_t = _mT(_flatten_tb(self.x))
+        out[prefix + "w_ih"] = x_flat_t @ dg_flat
+        out[prefix + "w_hh"] = _mT(_flatten_tb(hp)) @ dg_flat
+        out[prefix + "bias"] = DG.sum(axis=(-3, -2))
+        out[prefix + "w_ic"] = x_flat_t @ dp_flat
+        out[prefix + "w_hc"] = _mT(_flatten_tb(self.RH)) @ dp_flat
+        out[prefix + "bias_c"] = DP.sum(axis=(-3, -2))
+        return out
+
+    def dx(self) -> Array:
+        return _proj(self.CAND, _mT(self.w_ic)) + _proj(self.G, _mT(self.w_ih))
+
+
+# ----------------------------------------------------------------------
+# full-sequence layer kernels (the LSTM / GRU modules)
+# ----------------------------------------------------------------------
+def lstm_forward(
+    x: Array,
+    params: Mapping[str, Array],
+    prefix: str = "cell.",
+    state: tuple[Array, Array] | None = None,
+) -> tuple[Array, tuple[Array, Array], _LSTMKernel]:
+    """Fused :class:`repro.nn.lstm.LSTM` forward over ``(..., B, T, F)``.
+
+    Returns ``(outputs, (h_T, c_T), cache)`` with ``outputs`` shaped
+    ``(..., B, T, H)``; pass ``cache`` to :func:`lstm_backward`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    steps = x.shape[-2]
+    kern = _LSTMKernel(params, prefix, x.shape[:-2], steps, state=state)
+    xt = _tmaj(x)
+    kern.x = xt
+    xp = kern.input_proj(xt)
+    h, c = kern.h0, kern.c0
+    for t in range(steps):
+        h, c = kern.step(t, xp[..., t, :, :], h, c)
+    return _tmaj(kern.OUT), (h, c), kern
+
+
+def lstm_backward(
+    cache: _LSTMKernel,
+    params: Mapping[str, Array],
+    d_outputs: Array | None = None,
+    d_state: tuple[Array, Array] | None = None,
+    prefix: str = "cell.",
+) -> tuple[Array, tuple[Array, Array], dict[str, Array]]:
+    """Reverse sweep matching :func:`lstm_forward`.
+
+    ``d_outputs`` is the upstream gradient of the stacked outputs
+    (``None`` for none) and ``d_state`` the gradient of the final
+    ``(h_T, c_T)``.  Returns ``(dx, (dh_0, dc_0), grads)``.
+    """
+    kern = cache
+    if d_state is not None:
+        dh = np.asarray(d_state[0], dtype=np.float64)
+        dc: Array | None = np.asarray(d_state[1], dtype=np.float64)
+    else:
+        dh = np.zeros(kern.h0.shape)
+        dc = None
+    if d_outputs is not None:
+        d_outputs = _tmaj(np.asarray(d_outputs, dtype=np.float64))
+    kern.prepare_backward()
+    for t in range(kern.OUT.shape[-3] - 1, -1, -1):
+        if d_outputs is not None:
+            dh = dh + d_outputs[..., t, :, :]
+        dgates, dc = kern.back_step(t, dh, dc)
+        dh = dgates @ _mT(kern.w_hh)
+    grads = kern.grads({}, prefix)
+    return _tmaj(kern.dx()), (dh, dc), grads
+
+
+def gru_forward(
+    x: Array,
+    params: Mapping[str, Array],
+    prefix: str = "cell.",
+    state: Array | None = None,
+) -> tuple[Array, Array, _GRUKernel]:
+    """Fused :class:`repro.nn.gru.GRU` forward; returns ``(outputs, h_T, cache)``."""
+    x = np.asarray(x, dtype=np.float64)
+    steps = x.shape[-2]
+    kern = _GRUKernel(params, prefix, x.shape[:-2], steps, state=state)
+    xt = _tmaj(x)
+    kern.x = xt
+    xp, cp = kern.input_proj(xt)
+    h = kern.h0
+    for t in range(steps):
+        h = kern.step(t, xp[..., t, :, :], cp[..., t, :, :], h)
+    return _tmaj(kern.OUT), h, kern
+
+
+def gru_backward(
+    cache: _GRUKernel,
+    params: Mapping[str, Array],
+    d_outputs: Array | None = None,
+    d_state: Array | None = None,
+    prefix: str = "cell.",
+) -> tuple[Array, Array, dict[str, Array]]:
+    """Reverse sweep matching :func:`gru_forward`; returns ``(dx, dh_0, grads)``."""
+    kern = cache
+    dh = np.asarray(d_state, dtype=np.float64) if d_state is not None else np.zeros(kern.h0.shape)
+    if d_outputs is not None:
+        d_outputs = _tmaj(np.asarray(d_outputs, dtype=np.float64))
+    kern.prepare_backward()
+    for t in range(kern.OUT.shape[-3] - 1, -1, -1):
+        if d_outputs is not None:
+            dh = dh + d_outputs[..., t, :, :]
+        dgates, _, dh_partial = kern.back_step(t, dh)
+        dh = dh_partial + dgates @ _mT(kern.w_hh)
+    grads = kern.grads({}, prefix)
+    return _tmaj(kern.dx()), dh, grads
+
+
+# ----------------------------------------------------------------------
+# seq2seq encoder-decoder kernels
+# ----------------------------------------------------------------------
+def _model_kind(model) -> str | None:
+    from repro.nn.seq2seq import GRUEncoderDecoder, LSTMEncoderDecoder
+
+    if isinstance(model, LSTMEncoderDecoder):
+        return "lstm"
+    if isinstance(model, GRUEncoderDecoder):
+        return "gru"
+    return None
+
+
+def supports(model) -> bool:
+    """Whether the fused seq2seq kernels cover this model type."""
+    return _model_kind(model) is not None
+
+
+class Seq2SeqCache:
+    """Forward-pass state the seq2seq reverse sweep consumes."""
+
+    __slots__ = ("kind", "enc", "dec", "teacher_forcing", "seq_out", "w_head", "has_bias")
+
+    def __init__(self, kind, enc, dec, teacher_forcing, seq_out, w_head, has_bias):
+        self.kind = kind
+        self.enc = enc
+        self.dec = dec
+        self.teacher_forcing = teacher_forcing
+        self.seq_out = seq_out
+        self.w_head = w_head
+        self.has_bias = has_bias
+
+
+def seq2seq_forward(
+    model,
+    params: Mapping[str, "Tensor | Array"],
+    x: Array,
+    targets: Array | None = None,
+) -> tuple[Array, Seq2SeqCache]:
+    """Fused encoder-decoder forward; replays ``seq2seq.forward`` exactly.
+
+    ``x`` is ``(..., B, seq_in, F)``; parameters may carry matching
+    leading stack dimensions.  ``targets`` enables teacher forcing.
+    Returns ``(pred, cache)`` with ``pred`` shaped ``(..., B, seq_out, F)``.
+    """
+    kind = _model_kind(model)
+    if kind is None:
+        raise TypeError(f"fused kernels do not support {type(model).__name__}")
+    p = as_param_arrays(params)
+    x = np.asarray(x, dtype=np.float64)
+    if targets is not None:
+        targets = np.asarray(targets, dtype=np.float64)
+    lead = x.shape[:-2]
+    seq_in = x.shape[-2]
+    seq_out = model.seq_out
+    xt = _tmaj(x)
+
+    # Encoder: inputs are all known up front, so both the unroll driver
+    # and the kernel can hoist the input projections.
+    if kind == "lstm":
+        enc = _LSTMKernel(p, "encoder.", lead, seq_in)
+        enc.x = xt
+        xp = enc.input_proj(xt)
+        h, c = enc.h0, enc.c0
+        for t in range(seq_in):
+            h, c = enc.step(t, xp[..., t, :, :], h, c)
+        dec = _LSTMKernel(p, "decoder.", lead, seq_out, state=(h, c))
+    else:
+        enc = _GRUKernel(p, "encoder.", lead, seq_in)
+        enc.x = xt
+        xp, cp = enc.input_proj(xt)
+        h = enc.h0
+        for t in range(seq_in):
+            h = enc.step(t, xp[..., t, :, :], cp[..., t, :, :], h)
+        dec = _GRUKernel(p, "decoder.", lead, seq_out, state=h)
+
+    # Decoder: autoregressive (or teacher-forced) residual unroll.
+    w_head = p["head.weight"]
+    b_head = p.get("head.bias")
+    feat = x.shape[-1]
+    u_steps = np.empty(lead[:-1] + (seq_out, lead[-1], feat))
+    dec.x = u_steps
+    pred = np.empty(lead + (seq_out, feat))
+    u = x[..., seq_in - 1, :]
+    for t in range(seq_out):
+        u_steps[..., t, :, :] = u
+        if kind == "lstm":
+            h, c = dec.step(t, u @ dec.w_ih, h, c)
+        else:
+            h = dec.step(t, u @ dec.w_ih, u @ dec.w_ic, h)
+        delta = h @ w_head
+        if b_head is not None:
+            delta += b_head[..., None, :]
+        point = pred[..., t, :]
+        np.add(u, delta, out=point)
+        if targets is not None and t < seq_out - 1:
+            u = targets[..., t, :]
+        else:
+            u = point
+    return pred, Seq2SeqCache(
+        kind, enc, dec, targets is not None, seq_out, w_head, b_head is not None
+    )
+
+
+def seq2seq_backward(
+    model,
+    params: Mapping[str, "Tensor | Array"],
+    cache: Seq2SeqCache,
+    dpred: Array,
+) -> dict[str, Array]:
+    """Reverse sweep through decoder, residual head, and encoder.
+
+    ``dpred`` is ``dL/dpred``; in autoregressive mode the gradient of a
+    point also flows into the next decoder input (and its residual), so
+    the carry ``du`` is folded into the next-earlier step's ``dpred``
+    during the sweep.  Returns parameter gradients keyed like
+    ``model.named_parameters()``.
+    """
+    kind = cache.kind
+    enc, dec = cache.enc, cache.dec
+    w_head_t = _mT(cache.w_head)
+    autoregressive = not cache.teacher_forcing
+    seq_out = cache.seq_out
+
+    dec.prepare_backward()
+    dph = np.empty_like(dpred)  # dL/dpoint with the carry folded in
+    dh: Array | None = None
+    dc: Array | None = None
+    du: Array | None = None
+    for t in range(seq_out - 1, -1, -1):
+        dp = dph[..., t, :]
+        if du is None:
+            dp[...] = dpred[..., t, :]
+        else:
+            np.add(dpred[..., t, :], du, out=dp)
+        dh = dp @ w_head_t if dh is None else dh + dp @ w_head_t
+        if kind == "lstm":
+            dgates, dc = dec.back_step(t, dh, dc)
+            dh = dgates @ _mT(dec.w_hh)
+            if autoregressive and t > 0:
+                # Residual head: the point is (input + delta), so the
+                # carry into the previous step's point is dp plus the
+                # cell-input term.
+                du = dp + dgates @ _mT(dec.w_ih)
+        else:
+            dgates, dpre, dh_partial = dec.back_step(t, dh)
+            dh = dh_partial + dgates @ _mT(dec.w_hh)
+            if autoregressive and t > 0:
+                du = dp + dpre @ _mT(dec.w_ic) + dgates @ _mT(dec.w_ih)
+
+    grads: dict[str, Array] = {}
+    dph_flat = _flatten_tb(_tmaj(dph))
+    grads["head.weight"] = _mT(_flatten_tb(dec.OUT)) @ dph_flat
+    if cache.has_bias:
+        grads["head.bias"] = dph.sum(axis=(-3, -2))
+    dec.grads(grads, "decoder.")
+
+    # The decoder's initial state is the encoder's final state; encoder
+    # inputs are data, so only the state carry flows back — no dx.
+    enc.prepare_backward()
+    for t in range(enc.OUT.shape[-3] - 1, -1, -1):
+        if kind == "lstm":
+            dgates, dc = enc.back_step(t, dh, dc)
+            dh = dgates @ _mT(enc.w_hh)
+        else:
+            dgates, _, dh_partial = enc.back_step(t, dh)
+            dh = dh_partial + dgates @ _mT(enc.w_hh)
+    enc.grads(grads, "encoder.")
+    return grads
+
+
+def seq2seq_predict(
+    model,
+    params: Mapping[str, "Tensor | Array"],
+    x: Array,
+    targets: Array | None = None,
+) -> Array:
+    """Forward-only fused pass (inference; no tape, caches discarded)."""
+    pred, _ = seq2seq_forward(model, params, x, targets=targets)
+    return pred
+
+
+# ----------------------------------------------------------------------
+# loss coupling and training-step entry points
+# ----------------------------------------------------------------------
+def loss_grad_wrt_pred(loss_fn: LossFn, pred: Array, target: Array) -> tuple[float, Array]:
+    """Evaluate any tape loss and its gradient w.r.t. the prediction.
+
+    Runs the loss through a miniature tape whose only leaf is the
+    prediction — a handful of nodes regardless of model size — so the
+    fast path supports every loss the reference path does (plain MSE,
+    MAE, and the task-oriented weighted MSE of Eqs. 6-7) with
+    bit-identical loss values.
+
+    Plain MSE/MAE are special-cased with their closed-form gradients
+    (bit-identical to the tape: ``mean`` is ``sum * (1/N)``, and scaling
+    by the power-of-two 2 commutes with rounding), skipping even the
+    mini-tape on the most common inner-loop losses.
+    """
+    if loss_fn is mse_loss:
+        diff = np.asarray(pred, dtype=np.float64) - target
+        inv = 1.0 / diff.size
+        return float((diff * diff).sum() * inv), diff * (2.0 * inv)
+    if loss_fn is mae_loss:
+        diff = np.asarray(pred, dtype=np.float64) - target
+        inv = 1.0 / diff.size
+        return float(np.abs(diff).sum() * inv), np.sign(diff) * inv
+    pred_t = Tensor(pred, requires_grad=True)
+    loss = loss_fn(pred_t, Tensor(np.asarray(target, dtype=np.float64)))
+    if loss.size != 1:
+        raise ValueError("fused training requires a scalar loss")
+    loss.backward()
+    grad = pred_t.grad if pred_t.grad is not None else np.zeros_like(pred_t.data)
+    return float(loss.data), grad
+
+
+def loss_and_grads(
+    model,
+    params: Mapping[str, "Tensor | Array"],
+    x: Array,
+    y: Array,
+    loss_fn: LossFn,
+    teacher_forcing: bool = False,
+) -> tuple[float, dict[str, Array]]:
+    """One fused training step: loss value plus named parameter gradients.
+
+    Drop-in replacement for ``functional_call`` + ``grad_of`` on a
+    supported seq2seq model: same loss, same gradients (to float
+    round-off), no tape.
+    """
+    arrs = as_param_arrays(params)
+    y_arr = np.asarray(y, dtype=np.float64)
+    pred, cache = seq2seq_forward(model, arrs, x, targets=y_arr if teacher_forcing else None)
+    loss_val, dpred = loss_grad_wrt_pred(loss_fn, pred, y_arr)
+    grads = seq2seq_backward(model, arrs, cache, dpred)
+    return loss_val, grads
+
+
+# ----------------------------------------------------------------------
+# stacked multi-worker helpers (the batched meta-training fast path)
+# ----------------------------------------------------------------------
+def replicate_params(params: Mapping[str, "Tensor | Array"], count: int) -> dict[str, Array]:
+    """Stack ``count`` copies of a parameter dict along a new worker axis."""
+    if count < 1:
+        raise ValueError("need at least one worker")
+    return {name: np.repeat(_as_array(p)[None, ...], count, axis=0) for name, p in params.items()}
+
+
+def stack_param_dicts(dicts: Sequence[Mapping[str, "Tensor | Array"]]) -> dict[str, Array]:
+    """Stack per-worker parameter dicts along a new leading worker axis."""
+    if not dicts:
+        raise ValueError("need at least one parameter dict")
+    keys = list(dicts[0])
+    return {name: np.stack([_as_array(d[name]) for d in dicts]) for name in keys}
+
+
+def unstack_param_dict(stacked: Mapping[str, Array], index: int) -> dict[str, Array]:
+    """Copy one worker's slice out of a stacked parameter dict."""
+    return {name: np.array(arr[index], copy=True) for name, arr in stacked.items()}
+
+
+def pad_and_stack(arrays: Sequence[Array]) -> tuple[Array, list[int]]:
+    """Zero-pad ragged per-worker window sets into one stacked array.
+
+    ``arrays[w]`` is ``(n_w, ...)``; returns ``((W, max_n, ...), [n_w])``.
+    Padded rows are masked out downstream by zeroing their ``dL/dpred``.
+    """
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+    if not arrays:
+        raise ValueError("need at least one array")
+    trailing = arrays[0].shape[1:]
+    for a in arrays[1:]:
+        if a.shape[1:] != trailing:
+            raise ValueError(f"window shapes do not align: {a.shape[1:]} vs {trailing}")
+    lengths = [len(a) for a in arrays]
+    if len(set(lengths)) == 1:  # no padding needed: one C-level stack
+        return np.stack(arrays), lengths
+    out = np.zeros((len(arrays), max(lengths)) + trailing)
+    for i, a in enumerate(arrays):
+        out[i, : len(a)] = a
+    return out, lengths
+
+
+def batched_loss_and_grads(
+    model,
+    stacked_params: Mapping[str, Array],
+    xs: Sequence[Array],
+    ys: Sequence[Array],
+    loss_fn: LossFn,
+    teacher_forcing: bool = False,
+) -> tuple[list[float], dict[str, Array]]:
+    """Per-worker losses and gradients from one stacked BPTT pass.
+
+    ``xs[w]``/``ys[w]`` are worker ``w``'s (possibly ragged) windows and
+    ``stacked_params`` that worker's parameter slice along axis 0.  The
+    per-worker loss is evaluated on the *unpadded* rows only, so the
+    values — and therefore the gradients — match ``W`` independent
+    single-worker passes exactly.
+    """
+    X, lengths = pad_and_stack(xs)
+    Y, _ = pad_and_stack(ys)
+    pred, cache = seq2seq_forward(model, stacked_params, X, targets=Y if teacher_forcing else None)
+    if loss_fn is mse_loss and len(set(lengths)) == 1 and lengths[0] > 0:
+        # Equal window counts: one vectorized loss over all workers.  Each
+        # worker's rows are one contiguous block, so the per-worker
+        # reduction is bit-identical to the scalar path's ``sum()``.
+        diff = pred - Y
+        inv = 1.0 / pred[0].size
+        sq = diff * diff
+        losses = [float(v) for v in sq.reshape(len(lengths), -1).sum(axis=1) * inv]
+        dpred = diff * (2.0 * inv)
+    else:
+        dpred = np.zeros_like(pred)
+        losses = []
+        for w, (n, y) in enumerate(zip(lengths, ys)):
+            if n == 0:
+                losses.append(0.0)
+                continue
+            loss_val, grad = loss_grad_wrt_pred(loss_fn, pred[w, :n], y)
+            losses.append(loss_val)
+            dpred[w, :n] = grad
+    grads = seq2seq_backward(model, stacked_params, cache, dpred)
+    return losses, grads

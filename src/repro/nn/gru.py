@@ -13,7 +13,7 @@ import numpy as np
 from repro.nn import init
 from repro.nn.layers import _sub_context
 from repro.nn.module import Module, ParamContext, Parameter
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor, stack
 
 
 class GRUCell(Module):
@@ -85,5 +85,7 @@ class GRU(Module):
         outputs: list[Tensor] = []
         for t in range(steps):
             h = self.cell.forward(x[:, t, :], h, ctx=cell_ctx)
-            outputs.append(h.reshape(batch, 1, self.hidden_size))
-        return concat(outputs, axis=1), h
+            outputs.append(h)
+        # One stack node at the end instead of a per-step reshape plus a
+        # final concat: two fewer tape closures per timestep.
+        return stack(outputs, axis=1), h

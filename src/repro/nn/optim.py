@@ -48,9 +48,11 @@ class SGD(Optimizer):
             if self.momentum:
                 v *= self.momentum
                 v += p.grad
-                p.data = p.data - self.lr * v
+                # In place: the parameter buffer identity is stable across
+                # steps, so no per-parameter allocation per update.
+                np.subtract(p.data, self.lr * v, out=p.data)
             else:
-                p.data = p.data - self.lr * p.grad
+                np.subtract(p.data, self.lr * p.grad, out=p.data)
 
 
 class Adam(Optimizer):
@@ -89,7 +91,7 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * p.grad**2
             m_hat = m / b1t
             v_hat = v / b2t
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.subtract(p.data, self.lr * m_hat / (np.sqrt(v_hat) + self.eps), out=p.data)
 
 
 def clip_gradients(params: Iterable[Tensor], max_norm: float) -> float:

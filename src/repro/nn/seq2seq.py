@@ -91,14 +91,12 @@ class LSTMEncoderDecoder(Module):
         return concat(outputs, axis=1)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Inference convenience: numpy in, numpy out, no teacher forcing."""
-        arr = np.asarray(x, dtype=float)
-        squeeze = arr.ndim == 2
-        if squeeze:
-            arr = arr[None, :, :]
-        out = self.forward(Tensor(arr))
-        result = out.numpy()
-        return result[0] if squeeze else result
+        """Inference convenience: numpy in, numpy out, no teacher forcing.
+
+        Runs the fused tape-free forward (:mod:`repro.nn.fused`); the
+        operation order matches :meth:`forward` exactly.
+        """
+        return _fused_predict(self, x)
 
 
 class GRUEncoderDecoder(Module):
@@ -162,13 +160,24 @@ class GRUEncoderDecoder(Module):
         return concat(outputs, axis=1)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Inference convenience: numpy in, numpy out, no teacher forcing."""
-        arr = np.asarray(x, dtype=float)
-        squeeze = arr.ndim == 2
-        if squeeze:
-            arr = arr[None, :, :]
-        result = self.forward(Tensor(arr)).numpy()
-        return result[0] if squeeze else result
+        """Inference convenience: numpy in, numpy out, no teacher forcing.
+
+        Runs the fused tape-free forward (:mod:`repro.nn.fused`); the
+        operation order matches :meth:`forward` exactly.
+        """
+        return _fused_predict(self, x)
+
+
+def _fused_predict(model: Module, x: np.ndarray) -> np.ndarray:
+    """Shared tape-free inference path for both encoder-decoders."""
+    from repro.nn import fused  # deferred: fused dispatches on these classes
+
+    arr = np.asarray(x, dtype=float)
+    squeeze = arr.ndim == 2
+    if squeeze:
+        arr = arr[None, :, :]
+    result = fused.seq2seq_predict(model, dict(model.named_parameters()), arr)
+    return result[0] if squeeze else result
 
 
 def make_mobility_model(

@@ -229,7 +229,10 @@ def fine_tune(
     ``"sgd"`` reuses the MAML inner loop (the few-shot regime where
     meta-initialisation quality shows); ``"adam"`` trains the worker's
     personal model to convergence for the online assignment stage.
-    Returns the adapted state dict; the model is left loaded with it.
+    Both honour ``config.maml.fast_path`` — adaptation is the per-worker
+    hot path as workers churn, so it runs on the fused BPTT kernels
+    whenever the model supports them.  Returns the adapted state dict;
+    the model is left loaded with it.
     """
     if config.fine_tune_optimizer == "sgd":
         adapted = adapt(
@@ -239,14 +242,26 @@ def fine_tune(
             inner_lr=config.fine_tune_lr,
             inner_steps=config.fine_tune_steps,
             rng=rng,
+            fast_path=config.maml.fast_path,
         )
         params = {name: t.data.copy() for name, t in adapted.items()}
         model.load_state_dict(params)
         return params
 
+    from repro.meta.maml import resolve_fast_path
+    from repro.nn import fused
     from repro.nn.optim import Adam
 
     optimizer = Adam(model.parameters(), lr=config.fine_tune_lr)
+    if resolve_fast_path(config.maml.fast_path, model):
+        own = dict(model.named_parameters())
+        for _ in range(config.fine_tune_steps):
+            optimizer.zero_grad()
+            _, grads = fused.loss_and_grads(model, own, task.support_x, task.support_y, loss_fn)
+            for name, param in own.items():
+                param.grad = grads[name]
+            optimizer.step()
+        return model.state_dict()
     x, y = Tensor(task.support_x), Tensor(task.support_y)
     for _ in range(config.fine_tune_steps):
         optimizer.zero_grad()
@@ -282,7 +297,7 @@ def _held_out_matching_rate(
     if len(qx) == 0:
         qx, qy = task.support_x, task.support_y
     model.load_state_dict(params)
-    pred = model(Tensor(qx)).numpy()
+    pred = model.predict(np.asarray(qx, dtype=float))
     pred_km = city.grid.denormalize(pred.reshape(-1, 2))
     real_km = city.grid.denormalize(np.asarray(qy).reshape(-1, 2))
     return matching_rate(real_km, pred_km, a=config.mr_threshold_km)

@@ -19,10 +19,12 @@ from repro.similarity.distribution import (
     wasserstein_1d,
     wasserstein_exact_2d,
     sliced_wasserstein,
+    pairwise_sliced_wasserstein,
     distribution_similarity,
 )
 from repro.similarity.quality import (
     similarity_matrix,
+    finalize_similarity_matrix,
     normalize_similarity_matrix,
     SimilarityFunction,
 )
@@ -35,8 +37,10 @@ __all__ = [
     "wasserstein_1d",
     "wasserstein_exact_2d",
     "sliced_wasserstein",
+    "pairwise_sliced_wasserstein",
     "distribution_similarity",
     "similarity_matrix",
+    "finalize_similarity_matrix",
     "normalize_similarity_matrix",
     "SimilarityFunction",
 ]

@@ -35,7 +35,24 @@ def similarity_matrix(
             value = float(sim_fn(items[i], items[j]))
             sim[i, j] = value
             sim[j, i] = value
+    return finalize_similarity_matrix(sim, normalize=normalize)
+
+
+def finalize_similarity_matrix(sim: np.ndarray, normalize: bool = True) -> np.ndarray:
+    """Apply the diagonal convention and optional normalisation.
+
+    Takes a matrix whose off-diagonal entries are pairwise similarities
+    (the diagonal is ignored), pins the diagonal at the off-diagonal
+    maximum, and min-max rescales — the same post-processing
+    :func:`similarity_matrix` applies, usable with matrices built in
+    bulk (e.g. :func:`repro.similarity.distribution.pairwise_sliced_wasserstein`).
+    """
+    sim = np.array(sim, dtype=float)
+    if sim.ndim != 2 or sim.shape[0] != sim.shape[1]:
+        raise ValueError(f"similarity matrix must be square, got {sim.shape}")
+    n = len(sim)
     if n:
+        np.fill_diagonal(sim, 0.0)
         off_max = sim.max() if n > 1 else 1.0
         np.fill_diagonal(sim, max(off_max, 1.0) if not normalize else off_max)
     if normalize:

@@ -105,3 +105,35 @@ class TestClipGradients:
     def test_rejects_bad_norm(self):
         with pytest.raises(ValueError):
             clip_gradients([], max_norm=0.0)
+
+
+class TestInPlaceUpdates:
+    """The optimisers update parameter buffers in place (satellite of the
+    fast-path PR): the array object a parameter holds must be the same
+    object across steps, so views and optimiser slot states stay valid."""
+
+    def _run_steps(self, opt, p, steps=3):
+        for _ in range(steps):
+            opt.zero_grad()
+            quad_loss(p).backward()
+            opt.step()
+
+    def test_sgd_preserves_buffer_identity(self):
+        p = quadratic_param()
+        buf = p.data
+        self._run_steps(SGD([p], lr=0.1), p)
+        assert p.data is buf
+        assert buf[0] != 5.0  # and it actually moved
+
+    def test_sgd_momentum_preserves_buffer_identity(self):
+        p = quadratic_param()
+        buf = p.data
+        self._run_steps(SGD([p], lr=0.1, momentum=0.9), p)
+        assert p.data is buf
+
+    def test_adam_preserves_buffer_identity(self):
+        p = quadratic_param()
+        buf = p.data
+        self._run_steps(Adam([p], lr=0.1), p)
+        assert p.data is buf
+        assert buf[0] != 5.0

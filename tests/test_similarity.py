@@ -217,3 +217,56 @@ class TestSimilarityMatrix:
         sim = similarity_matrix([np.zeros(2)], lambda a, b: 0.0)
         assert sim.shape == (1, 1)
         assert sim[0, 0] == 1.0
+
+
+class TestPairwiseSlicedWasserstein:
+    """The bulk builder must reproduce the per-pair sliced distances."""
+
+    def test_matches_per_pair(self, rng):
+        from repro.similarity import pairwise_sliced_wasserstein
+
+        samples = [rng.normal(size=(n, 2)) for n in (25, 25, 40, 13)]
+        seed = 99
+        matrix = pairwise_sliced_wasserstein(samples, rng=np.random.default_rng(seed))
+        assert matrix.shape == (4, 4)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                ref = sliced_wasserstein(samples[i], samples[j], rng=np.random.default_rng(seed))
+                assert matrix[i, j] == pytest.approx(ref, rel=1e-12, abs=1e-12)
+
+    def test_one_dimensional_samples(self, rng):
+        from repro.similarity import pairwise_sliced_wasserstein
+
+        samples = [rng.normal(size=n) for n in (20, 20, 9)]
+        matrix = pairwise_sliced_wasserstein(samples)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert matrix[i, j] == pytest.approx(
+                    sliced_wasserstein(samples[i], samples[j]), rel=1e-12
+                )
+
+    def test_validation(self):
+        from repro.similarity import pairwise_sliced_wasserstein
+
+        assert pairwise_sliced_wasserstein([]).shape == (0, 0)
+        with pytest.raises(ValueError):
+            pairwise_sliced_wasserstein([np.zeros((0, 2))])
+        with pytest.raises(ValueError):
+            pairwise_sliced_wasserstein([np.zeros((3, 2)), np.zeros((3, 3))])
+        with pytest.raises(ValueError):
+            pairwise_sliced_wasserstein([np.zeros((3, 2))], n_projections=0)
+
+    def test_finalize_matches_similarity_matrix(self, rng):
+        from repro.similarity import finalize_similarity_matrix
+
+        items = [rng.normal(size=2) for _ in range(5)]
+        sim_fn = lambda a, b: float(1.0 / (1.0 + np.linalg.norm(a - b)))
+        ref = similarity_matrix(items, sim_fn)
+        raw = np.zeros((5, 5))
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    raw[i, j] = sim_fn(items[i], items[j])
+        assert np.allclose(finalize_similarity_matrix(raw), ref)
