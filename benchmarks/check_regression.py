@@ -5,7 +5,11 @@ tape/fused speedup *ratios* against the committed baseline
 ``BENCH_nn_fastpath.json``; a shape whose ratio drops by more than
 ``TOLERANCE`` (20%) fails.  Ratios are compared rather than absolute
 times because both paths slow down together under host load, so the
-ratio is the stable quantity on shared machines.
+ratio is the stable quantity on shared machines.  When a shape fails
+and both JSON documents carry per-phase span timings (``"phases"``),
+the failure message names the phase whose p50 drifted the most, so a
+regression points at tape vs fused vs batched rather than only at the
+end-to-end ratio.
 
 Run standalone::
 
@@ -33,6 +37,28 @@ TOLERANCE = 0.20
 REPEATS = 40
 
 
+def attribute_phase(base_entry: dict, cur_entry: dict) -> str:
+    """Name the phase whose p50 drifted the most against the baseline.
+
+    Older baselines predate per-phase span timings; without them the
+    end-to-end ratio is all there is to report.
+    """
+    base_phases = base_entry.get("phases")
+    cur_phases = cur_entry.get("phases")
+    if not base_phases or not cur_phases:
+        return "no per-phase timings in baseline"
+    drifts = {}
+    for phase, base_stats in base_phases.items():
+        cur_stats = cur_phases.get(phase)
+        if cur_stats is None or not base_stats.get("p50_s"):
+            continue
+        drifts[phase] = cur_stats["p50_s"] / base_stats["p50_s"]
+    if not drifts:
+        return "no comparable phases"
+    worst = max(drifts, key=lambda p: drifts[p])
+    return f"largest p50 drift in phase '{worst}' ({drifts[worst]:.2f}x baseline)"
+
+
 def compare(baseline: dict, current: dict) -> list[str]:
     """Return one failure message per shape regressed beyond tolerance."""
     failures = []
@@ -48,7 +74,8 @@ def compare(baseline: dict, current: dict) -> list[str]:
             if cur < floor:
                 failures.append(
                     f"{name}/{path}: speedup {cur:.2f}x fell below "
-                    f"{floor:.2f}x (baseline {base:.2f}x - {TOLERANCE:.0%})"
+                    f"{floor:.2f}x (baseline {base:.2f}x - {TOLERANCE:.0%}); "
+                    + attribute_phase(base_entry, cur_entry)
                 )
     return failures
 

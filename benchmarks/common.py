@@ -4,16 +4,25 @@ Every bench regenerates one of the paper's tables or figures as a
 plain-text artefact under ``benchmarks/results/`` and also prints it.
 ``REPRO_BENCH_SCALE`` (float, default 1) grows the worker/task
 populations toward paper scale; the defaults finish in CPU minutes.
+
+Each artefact is accompanied by a run manifest
+(``results/<name>.manifest.json``: bench scale, git SHA, timing) so a
+results directory is self-describing; set ``REPRO_BENCH_TRACE=1`` to
+additionally record a JSONL span trace per bench artefact, readable
+with ``python -m repro.cli trace-report``.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.meta.maml import MAMLConfig
+from repro.obs import JsonlSink, RunManifest
 from repro.pipeline.config import AssignmentConfig, PredictionConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -36,13 +45,39 @@ def scaled(base: int, minimum: int = 1) -> int:
     return max(int(round(base * bench_scale())), minimum)
 
 
-def write_result(name: str, text: str) -> Path:
-    """Persist a rendered table/series and echo it to stdout."""
+def write_result(name: str, text: str, metrics: dict | None = None) -> Path:
+    """Persist a rendered table/series and echo it to stdout.
+
+    Also drops a run manifest next to the artefact so every results
+    directory records which commit, scale, and environment produced it.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    manifest = RunManifest.start(
+        command=f"bench:{name}",
+        config={"scale": bench_scale()},
+        repo_dir=Path(__file__).parent.parent,
+    )
+    manifest.finalize(metrics=metrics or {}).write(RESULTS_DIR / f"{name}.manifest.json")
     print(f"\n{text}\n[saved to {path}]")
     return path
+
+
+@contextmanager
+def bench_trace(name: str):
+    """Optionally record a bench run's spans (``REPRO_BENCH_TRACE=1``).
+
+    Yields the trace path (or ``None`` when tracing is off); the trace
+    lands next to the bench's artefact as ``<name>.trace.jsonl``.
+    """
+    if os.environ.get("REPRO_BENCH_TRACE", "").strip() in ("", "0"):
+        yield None
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trace_path = RESULTS_DIR / f"{name}.trace.jsonl"
+    with obs.recording(JsonlSink(trace_path)):
+        yield trace_path
 
 
 def fewshot_prediction_config(

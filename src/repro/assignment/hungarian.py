@@ -16,10 +16,13 @@ never used at runtime.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+
+from repro import obs
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,7 +54,17 @@ def solve_assignment(cost: np.ndarray, maximize: bool = False) -> tuple[np.ndarr
     transposed = cost.shape[0] > cost.shape[1]
     if transposed:
         cost = cost.T
-    rows, cols = _shortest_augmenting_paths(cost)
+    # Only reach for the clock when a recorder is live: solve_assignment
+    # is the innermost hot call of every PPI stage and baseline.
+    recorder = obs.get_recorder()
+    if recorder.enabled:
+        started = time.perf_counter()
+        rows, cols = _shortest_augmenting_paths(cost)
+        recorder.counter("km.solves")
+        recorder.histogram("km.solve_seconds", time.perf_counter() - started)
+        recorder.histogram("km.matrix_size", cost.size)
+    else:
+        rows, cols = _shortest_augmenting_paths(cost)
     if transposed:
         rows, cols = cols, rows
         order = np.argsort(rows)
@@ -135,6 +148,7 @@ def maximum_weight_matching(
     vertex and a zero-weight match are equivalent under the objective.
     """
     normalized = [e if isinstance(e, Edge) else Edge(*e) for e in edges]
+    obs.histogram("km.edges", len(normalized))
     if not normalized:
         return []
     if any(e.weight < 0 for e in normalized):

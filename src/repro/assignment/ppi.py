@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.assignment.hungarian import maximum_weight_matching
 from repro.assignment.matching_rate import feasible_prediction_points, theorem2_bound
 from repro.assignment.plan import AssignmentPair, AssignmentPlan
@@ -87,85 +88,101 @@ def ppi_assign(
     task_by_id = {t.task_id: t for t in tasks}
     worker_by_id = {w.worker_id: w for w in workers}
 
-    for task in tasks:
-        tloc = np.array([task.location.x, task.location.y])
-        for worker in workers:
-            bound = theorem2_bound(
-                worker.detour_budget_km, task.deadline, current_time, worker.speed_km_per_min
-            )
-            if bound <= 0 or len(worker.predicted_xy) == 0:
-                continue
-            b_set = feasible_prediction_points(worker.predicted_xy, tloc, cfg.a, bound)
-            score = len(b_set) * worker.matching_rate
-            min_b = float(b_set.min()) if len(b_set) else np.inf
-            if score >= 1.0:
-                stage1_edges.append((task.task_id, worker.worker_id, 1.0 / (min_b + cfg.eps_weight)))
-            else:
-                deferred.append(
-                    _Candidate(task_id=task.task_id, worker_id=worker.worker_id, score=score, min_b=min_b)
-                )
-
     assigned_tasks: set[int] = set()
     assigned_workers: set[int] = set()
-    for t_id, w_id, weight in maximum_weight_matching(stage1_edges):
-        plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=1))
-        assigned_tasks.add(t_id)
-        assigned_workers.add(w_id)
+
+    with obs.span("ppi.stage1", tasks=len(tasks), workers=len(workers)) as s1:
+        for task in tasks:
+            tloc = np.array([task.location.x, task.location.y])
+            for worker in workers:
+                bound = theorem2_bound(
+                    worker.detour_budget_km, task.deadline, current_time, worker.speed_km_per_min
+                )
+                if bound <= 0 or len(worker.predicted_xy) == 0:
+                    continue
+                b_set = feasible_prediction_points(worker.predicted_xy, tloc, cfg.a, bound)
+                score = len(b_set) * worker.matching_rate
+                min_b = float(b_set.min()) if len(b_set) else np.inf
+                if score >= 1.0:
+                    stage1_edges.append((task.task_id, worker.worker_id, 1.0 / (min_b + cfg.eps_weight)))
+                else:
+                    deferred.append(
+                        _Candidate(task_id=task.task_id, worker_id=worker.worker_id, score=score, min_b=min_b)
+                    )
+
+        for t_id, w_id, weight in maximum_weight_matching(stage1_edges):
+            plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=1))
+            assigned_tasks.add(t_id)
+            assigned_workers.add(w_id)
+        obs.counter("ppi.stage1.assigned", len(assigned_tasks))
+        obs.histogram("ppi.stage1.candidates", len(stage1_edges))
+        s1.set(candidates=len(stage1_edges), assigned=len(assigned_tasks))
 
     # ------------------------------------------------------------------
     # Stage 2 (lines 13-27): descending-confidence chunks of epsilon.
     # ------------------------------------------------------------------
-    deferred.sort(key=lambda c: c.score, reverse=True)
-    chunk: list[tuple[int, int, float]] = []
+    with obs.span("ppi.stage2", deferred=len(deferred)) as s2:
+        stage2_before = len(plan)
+        deferred.sort(key=lambda c: c.score, reverse=True)
+        chunk: list[tuple[int, int, float]] = []
 
-    def flush_chunk() -> None:
-        if not chunk:
-            return
-        for t_id, w_id, weight in maximum_weight_matching(chunk):
-            if t_id in assigned_tasks or w_id in assigned_workers:
+        def flush_chunk() -> None:
+            if not chunk:
+                return
+            obs.counter("ppi.stage2.chunks")
+            for t_id, w_id, weight in maximum_weight_matching(chunk):
+                if t_id in assigned_tasks or w_id in assigned_workers:
+                    continue
+                plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=2))
+                assigned_tasks.add(t_id)
+                assigned_workers.add(w_id)
+            chunk.clear()
+
+        for cand in deferred:
+            if not np.isfinite(cand.min_b):
+                # Sorted descending: every later candidate also has empty B.
+                break
+            if cand.task_id in assigned_tasks or cand.worker_id in assigned_workers:
                 continue
-            plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=2))
-            assigned_tasks.add(t_id)
-            assigned_workers.add(w_id)
-        chunk.clear()
-
-    for cand in deferred:
-        if not np.isfinite(cand.min_b):
-            # Sorted descending: every later candidate also has empty B.
-            break
-        if cand.task_id in assigned_tasks or cand.worker_id in assigned_workers:
-            continue
-        chunk.append((cand.task_id, cand.worker_id, 1.0 / (cand.min_b + cfg.eps_weight)))
-        if len(chunk) >= cfg.epsilon:
-            flush_chunk()
-    flush_chunk()
+            chunk.append((cand.task_id, cand.worker_id, 1.0 / (cand.min_b + cfg.eps_weight)))
+            if len(chunk) >= cfg.epsilon:
+                flush_chunk()
+        flush_chunk()
+        stage2_assigned = len(plan) - stage2_before
+        obs.counter("ppi.stage2.assigned", stage2_assigned)
+        s2.set(assigned=stage2_assigned)
 
     # ------------------------------------------------------------------
     # Stage 3 (lines 28-34): remaining pairs by plain predicted proximity.
     # ------------------------------------------------------------------
-    stage3_edges: list[tuple[int, int, float]] = []
-    for task in tasks:
-        if task.task_id in assigned_tasks:
-            continue
-        tloc = np.array([task.location.x, task.location.y])
-        for worker in workers:
-            if worker.worker_id in assigned_workers:
+    with obs.span("ppi.stage3") as s3:
+        stage3_before = len(plan)
+        stage3_edges: list[tuple[int, int, float]] = []
+        for task in tasks:
+            if task.task_id in assigned_tasks:
                 continue
-            if len(worker.predicted_xy) == 0:
-                continue
-            bound = theorem2_bound(
-                worker.detour_budget_km, task.deadline, current_time, worker.speed_km_per_min
-            )
-            if bound <= 0:
-                continue
-            dists = np.sqrt(((worker.predicted_xy - tloc) ** 2).sum(axis=1))
-            dis_min = float(dists.min())
-            if dis_min <= bound:
-                stage3_edges.append((task.task_id, worker.worker_id, 1.0 / (dis_min + cfg.eps_weight)))
-    for t_id, w_id, weight in maximum_weight_matching(stage3_edges):
-        plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=3))
-        assigned_tasks.add(t_id)
-        assigned_workers.add(w_id)
+            tloc = np.array([task.location.x, task.location.y])
+            for worker in workers:
+                if worker.worker_id in assigned_workers:
+                    continue
+                if len(worker.predicted_xy) == 0:
+                    continue
+                bound = theorem2_bound(
+                    worker.detour_budget_km, task.deadline, current_time, worker.speed_km_per_min
+                )
+                if bound <= 0:
+                    continue
+                dists = np.sqrt(((worker.predicted_xy - tloc) ** 2).sum(axis=1))
+                dis_min = float(dists.min())
+                if dis_min <= bound:
+                    stage3_edges.append((task.task_id, worker.worker_id, 1.0 / (dis_min + cfg.eps_weight)))
+        for t_id, w_id, weight in maximum_weight_matching(stage3_edges):
+            plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=3))
+            assigned_tasks.add(t_id)
+            assigned_workers.add(w_id)
+        stage3_assigned = len(plan) - stage3_before
+        obs.counter("ppi.stage3.assigned", stage3_assigned)
+        s3.set(candidates=len(stage3_edges), assigned=stage3_assigned)
 
     # Sanity: the plan only references known ids.
     assert plan.task_ids() <= set(task_by_id)

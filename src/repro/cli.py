@@ -4,19 +4,27 @@ Examples::
 
     python -m repro.cli predict --algorithm gttaml --workload porto-didi
     python -m repro.cli assign --algorithm ppi --n-tasks 300 --detour 6
-    python -m repro.cli compare --workload porto-didi
+    python -m repro.cli assign --algorithm ppi --trace run.trace.jsonl
+    python -m repro.cli trace-report run.trace.jsonl
+    python -m repro.cli compare --workload porto-didi --json
 
 The CLI drives the same pipeline as the benches, at whatever scale the
-flags request.
+flags request.  ``--trace PATH`` records the run as a JSONL span trace
+plus a run manifest (config, seed, git SHA, final metrics) next to it;
+``trace-report`` renders the per-stage breakdown.  ``--json`` switches
+every subcommand's stdout to one machine-readable JSON document.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from typing import Callable, Sequence
 
+from repro import obs
 from repro.meta.maml import MAMLConfig
+from repro.obs import JsonlSink, Reporter, RunManifest, load_report, manifest_path_for, render_report
 from repro.pipeline import (
     ASSIGNMENT_ALGORITHMS,
     AssignmentConfig,
@@ -46,6 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--n-train-days", type=int, default=5)
         p.add_argument("--detour", type=float, default=4.0, help="worker detour budget (km)")
         p.add_argument("--seed", type=int, default=1)
+        add_output_flags(p)
+
+    def add_output_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true", help="emit one JSON document instead of text")
+        p.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="record a JSONL span trace to PATH (a run manifest is written next to it)",
+        )
 
     predict = sub.add_parser("predict", help="train a mobility predictor and report RMSE/MAE/MR/TT")
     add_workload_flags(predict)
@@ -62,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="run all assignment algorithms and print the comparison")
     add_workload_flags(compare)
     compare.add_argument("--iterations", type=int, default=10)
+
+    report = sub.add_parser("trace-report", help="render the per-stage breakdown of a trace file")
+    report.add_argument("trace_file", help="JSONL trace written by --trace")
+    report.add_argument("--json", action="store_true", help="emit the aggregates as JSON")
 
     return parser
 
@@ -85,68 +107,172 @@ def _prediction_config(args: argparse.Namespace, loss: str, algorithm: str) -> P
     )
 
 
+def _flag_config(args: argparse.Namespace) -> dict:
+    """The run's configuration as seen from the CLI flags (manifest)."""
+    return {
+        k: v for k, v in vars(args).items() if k not in ("command", "json", "trace", "_argv")
+    }
+
+
+def _observed(
+    args: argparse.Namespace,
+    reporter: Reporter,
+    body: Callable[[], dict],
+) -> dict:
+    """Run ``body`` under the run's observability envelope.
+
+    With ``--trace`` the body executes inside a recording session whose
+    spans stream to the JSONL sink, and a run manifest (flags, seed,
+    git SHA, the metrics ``body`` returns) lands next to the trace.
+    """
+    trace = getattr(args, "trace", None)
+    if not trace:
+        return body()
+    manifest = RunManifest.start(
+        command=args.command,
+        argv=getattr(args, "_argv", sys.argv[1:]),
+        config=_flag_config(args),
+        seed=getattr(args, "seed", None),
+    )
+    with obs.recording(JsonlSink(trace)):
+        metrics = body()
+    manifest_file = manifest.finalize(metrics=metrics, trace_path=trace).write(
+        manifest_path_for(trace)
+    )
+    reporter.add("trace", str(trace))
+    reporter.add("manifest", str(manifest_file))
+    reporter.line(f"[trace: {trace}]")
+    reporter.line(f"[manifest: {manifest_file}]")
+    return metrics
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
-    workload, learning = make_workload(args.workload, _spec(args))
-    config = _prediction_config(args, args.loss, args.algorithm)
-    predictor = train_predictor(learning, workload.city, config, workload.historical_tasks_xy)
-    report = evaluate_prediction(predictor, workload.workers)
-    print(f"workload={args.workload} algorithm={args.algorithm} loss={args.loss}")
-    for key, value in report.as_row().items():
-        print(f"  {key:<5} {value:.4f}")
+    reporter = Reporter(json_mode=args.json)
+
+    def body() -> dict:
+        workload, learning = make_workload(args.workload, _spec(args))
+        config = _prediction_config(args, args.loss, args.algorithm)
+        predictor = train_predictor(learning, workload.city, config, workload.historical_tasks_xy)
+        report = evaluate_prediction(predictor, workload.workers)
+        reporter.add("workload", args.workload)
+        reporter.add("algorithm", args.algorithm)
+        reporter.add("loss", args.loss)
+        reporter.line(f"workload={args.workload} algorithm={args.algorithm} loss={args.loss}")
+        rows = report.as_row()
+        reporter.table("metrics", rows, fmt="  {name:<5} {value:.4f}")
+        return rows
+
+    _observed(args, reporter, body)
+    reporter.finish()
     return 0
 
 
 def cmd_assign(args: argparse.Namespace) -> int:
-    workload, learning = make_workload(args.workload, _spec(args))
-    predictor = None
-    if args.algorithm not in ("ub", "lb"):
-        config = _prediction_config(args, args.loss, "gttaml")
-        predictor = train_predictor(learning, workload.city, config, workload.historical_tasks_xy)
-    result = run_assignment(workload, args.algorithm, AssignmentConfig(), predictor=predictor)
-    metrics = result.metrics()
-    print(f"workload={args.workload} algorithm={args.algorithm}")
-    for key, value in metrics.as_row().items():
-        print(f"  {key:<18} {value:.4f}")
+    reporter = Reporter(json_mode=args.json)
+
+    def body() -> dict:
+        workload, learning = make_workload(args.workload, _spec(args))
+        predictor = None
+        if args.algorithm not in ("ub", "lb"):
+            config = _prediction_config(args, args.loss, "gttaml")
+            predictor = train_predictor(learning, workload.city, config, workload.historical_tasks_xy)
+        result = run_assignment(workload, args.algorithm, AssignmentConfig(), predictor=predictor)
+        metrics = result.metrics()
+        reporter.add("workload", args.workload)
+        reporter.add("algorithm", args.algorithm)
+        reporter.line(f"workload={args.workload} algorithm={args.algorithm}")
+        rows = metrics.as_row()
+        reporter.table("metrics", rows, fmt="  {name:<18} {value:.4f}")
+        reporter.add("prediction_seconds", result.prediction_seconds)
+        reporter.add("algorithm_seconds", result.algorithm_seconds)
+        return rows
+
+    _observed(args, reporter, body)
+    reporter.finish()
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    workload, learning = make_workload(args.workload, _spec(args))
-    oriented = train_predictor(
-        learning,
-        workload.city,
-        _prediction_config(args, "task_oriented", "gttaml"),
-        workload.historical_tasks_xy,
-    )
-    mse = train_predictor(
-        learning,
-        workload.city,
-        _prediction_config(args, "mse", "gttaml"),
-        workload.historical_tasks_xy,
-    )
-    predictor_for = {
-        "ppi": oriented, "km": oriented,
-        "ppi_loss": mse, "km_loss": mse, "ggpso": mse,
-        "ub": None, "lb": None,
-    }
-    print(f"{'algorithm':<10} {'completion':>10} {'rejection':>10} {'cost km':>8} {'time s':>7}")
-    for algorithm in ASSIGNMENT_ALGORITHMS:
-        result = run_assignment(
-            workload, algorithm, AssignmentConfig(), predictor=predictor_for[algorithm]
+    reporter = Reporter(json_mode=args.json)
+
+    def body() -> dict:
+        workload, learning = make_workload(args.workload, _spec(args))
+        oriented = train_predictor(
+            learning,
+            workload.city,
+            _prediction_config(args, "task_oriented", "gttaml"),
+            workload.historical_tasks_xy,
         )
-        m = result.metrics()
-        print(
-            f"{algorithm:<10} {m.completion_ratio:>10.3f} {m.rejection_ratio:>10.3f} "
-            f"{m.worker_cost_km:>8.3f} {m.running_seconds:>7.2f}"
+        mse = train_predictor(
+            learning,
+            workload.city,
+            _prediction_config(args, "mse", "gttaml"),
+            workload.historical_tasks_xy,
         )
+        predictor_for = {
+            "ppi": oriented, "km": oriented,
+            "ppi_loss": mse, "km_loss": mse, "ggpso": mse,
+            "ub": None, "lb": None,
+        }
+        reporter.line(
+            f"{'algorithm':<10} {'completion':>10} {'rejection':>10} {'cost km':>8} {'time s':>7}"
+        )
+        table: dict[str, dict[str, float]] = {}
+        for algorithm in ASSIGNMENT_ALGORITHMS:
+            result = run_assignment(
+                workload, algorithm, AssignmentConfig(), predictor=predictor_for[algorithm]
+            )
+            m = result.metrics()
+            table[algorithm] = m.as_row()
+            reporter.line(
+                f"{algorithm:<10} {m.completion_ratio:>10.3f} {m.rejection_ratio:>10.3f} "
+                f"{m.worker_cost_km:>8.3f} {m.running_seconds:>7.2f}"
+            )
+        reporter.add("workload", args.workload)
+        reporter.add("algorithms", table)
+        return table
+
+    _observed(args, reporter, body)
+    reporter.finish()
     return 0
 
 
-COMMANDS = {"predict": cmd_predict, "assign": cmd_assign, "compare": cmd_compare}
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    report = load_report(args.trace_file)
+    if args.json:
+        payload = {
+            "trace": args.trace_file,
+            "n_spans": report.n_spans,
+            "total_s": report.total_s,
+            "spans": [
+                {
+                    "path": list(stat.path),
+                    "count": stat.count,
+                    "total_s": stat.total_s,
+                    "mean_s": stat.mean_s,
+                    "self_s": stat.self_s,
+                }
+                for stat in sorted(report.stats.values(), key=lambda s: s.path)
+            ],
+            "metrics": report.metrics,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_report(report, title=f"trace report: {args.trace_file}"))
+    return 0
+
+
+COMMANDS = {
+    "predict": cmd_predict,
+    "assign": cmd_assign,
+    "compare": cmd_compare,
+    "trace-report": cmd_trace_report,
+}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     return COMMANDS[args.command](args)
 
 

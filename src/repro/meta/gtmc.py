@@ -20,6 +20,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.game import best_response_clustering, cluster_quality
 from repro.cluster.kmeans import kmeans
 from repro.cluster.kmedoids import kmedoids
@@ -101,33 +102,41 @@ def gtmc_cluster(
     queue: deque[tuple[LearningTaskTree, int, np.ndarray]] = deque()
     queue.append((root, 0, np.arange(len(tasks))))
 
-    while queue:
-        node, j, idx = queue.popleft()
-        if len(idx) < 2:
-            continue
-        factor = cfg.factors[j]
-        sim_sub = np.asarray(sim_matrices[factor])[np.ix_(idx, idx)]
+    with obs.span("gtmc.cluster", tasks=len(tasks), factors=list(cfg.factors)) as top:
+        while queue:
+            node, j, idx = queue.popleft()
+            if len(idx) < 2:
+                continue
+            factor = cfg.factors[j]
+            with obs.span("gtmc.split", factor=factor, level=j, tasks=len(idx)):
+                sim_sub = np.asarray(sim_matrices[factor])[np.ix_(idx, idx)]
 
-        # Line 5: seed with k-medoids using 1/Sim as distance.
-        dist = 1.0 / (sim_sub + _EPS)
-        np.fill_diagonal(dist, 0.0)
-        seed = kmedoids(dist, k=min(cfg.k, len(idx)), rng=rng)
+                # Line 5: seed with k-medoids using 1/Sim as distance.
+                dist = 1.0 / (sim_sub + _EPS)
+                np.fill_diagonal(dist, 0.0)
+                seed = kmedoids(dist, k=min(cfg.k, len(idx)), rng=rng)
 
-        # Lines 6-11: best-response dynamics to Nash equilibrium.
-        result = best_response_clustering(
-            sim_sub, seed.labels, gamma=cfg.gamma, max_rounds=cfg.max_rounds
-        )
-        groups = _group_by_label(result.labels)
+                # Lines 6-11: best-response dynamics to Nash equilibrium.
+                result = best_response_clustering(
+                    sim_sub, seed.labels, gamma=cfg.gamma, max_rounds=cfg.max_rounds
+                )
+                groups = _group_by_label(result.labels)
+                obs.counter("gtmc.splits")
+                obs.histogram("gtmc.best_response_rounds", result.n_rounds)
 
-        # Lines 13-18: materialise children; descend low-quality ones.
-        if len(groups) <= 1:
-            continue
-        for local in groups:
-            child = LearningTaskTree(cluster=[tasks[int(idx[i])] for i in local], factor=factor)
-            node.add_child(child)
-            quality = cluster_quality(sim_sub, [int(i) for i in local], cfg.gamma)
-            if j + 1 < len(cfg.factors) and quality < cfg.thresholds[j]:
-                queue.append((child, j + 1, idx[local]))
+                # Lines 13-18: materialise children; descend low-quality ones.
+                if len(groups) <= 1:
+                    continue
+                for local in groups:
+                    child = LearningTaskTree(cluster=[tasks[int(idx[i])] for i in local], factor=factor)
+                    node.add_child(child)
+                    obs.histogram("gtmc.cluster_size", len(local))
+                    quality = cluster_quality(sim_sub, [int(i) for i in local], cfg.gamma)
+                    if j + 1 < len(cfg.factors) and quality < cfg.thresholds[j]:
+                        obs.counter("gtmc.descents")
+                        queue.append((child, j + 1, idx[local]))
+        obs.gauge("gtmc.tree_depth", root.depth())
+        top.set(depth=root.depth(), nodes=root.n_nodes())
     return root
 
 
@@ -157,21 +166,27 @@ def kmeans_multilevel_cluster(
     queue: deque[tuple[LearningTaskTree, int, np.ndarray]] = deque()
     queue.append((root, 0, np.arange(len(tasks))))
 
-    while queue:
-        node, j, idx = queue.popleft()
-        if len(idx) < 2:
-            continue
-        factor = cfg.factors[j]
-        emb = np.asarray(embeddings[factor])[idx]
-        labels = kmeans(emb, k=min(cfg.k, len(idx)), rng=rng).labels
-        groups = _group_by_label(labels)
-        if len(groups) <= 1:
-            continue
-        sim_sub = np.asarray(sim_matrices[factor])[np.ix_(idx, idx)]
-        for local in groups:
-            child = LearningTaskTree(cluster=[tasks[int(idx[i])] for i in local], factor=factor)
-            node.add_child(child)
-            quality = cluster_quality(sim_sub, [int(i) for i in local], cfg.gamma)
-            if j + 1 < len(cfg.factors) and quality < cfg.thresholds[j]:
-                queue.append((child, j + 1, idx[local]))
+    with obs.span("gtmc.kmeans_cluster", tasks=len(tasks), factors=list(cfg.factors)) as top:
+        while queue:
+            node, j, idx = queue.popleft()
+            if len(idx) < 2:
+                continue
+            factor = cfg.factors[j]
+            emb = np.asarray(embeddings[factor])[idx]
+            labels = kmeans(emb, k=min(cfg.k, len(idx)), rng=rng).labels
+            groups = _group_by_label(labels)
+            obs.counter("gtmc.splits")
+            if len(groups) <= 1:
+                continue
+            sim_sub = np.asarray(sim_matrices[factor])[np.ix_(idx, idx)]
+            for local in groups:
+                child = LearningTaskTree(cluster=[tasks[int(idx[i])] for i in local], factor=factor)
+                node.add_child(child)
+                obs.histogram("gtmc.cluster_size", len(local))
+                quality = cluster_quality(sim_sub, [int(i) for i in local], cfg.gamma)
+                if j + 1 < len(cfg.factors) and quality < cfg.thresholds[j]:
+                    obs.counter("gtmc.descents")
+                    queue.append((child, j + 1, idx[local]))
+        obs.gauge("gtmc.tree_depth", root.depth())
+        top.set(depth=root.depth(), nodes=root.n_nodes())
     return root

@@ -26,6 +26,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.meta.learning_task import LearningTask
 from repro.nn import fused
 from repro.nn.module import (
@@ -118,6 +119,8 @@ def adapt(
     params = {k: v.clone(requires_grad=True) for k, v in params.items()}
     rng = rng if rng is not None else np.random.default_rng(0)
     fast = resolve_fast_path(fast_path, model)
+    obs.counter("maml.inner_loop_steps", inner_steps)
+    obs.counter("maml.fused_kernel_invocations" if fast else "maml.tape_invocations", inner_steps)
     for _ in range(inner_steps):
         if support_batch is not None:
             xb, yb = task.support_batch(support_batch, rng)
@@ -174,20 +177,29 @@ def meta_train(
     own_params = dict(model.named_parameters())
     fast = resolve_fast_path(config.fast_path, model)
 
-    for _ in range(config.iterations):
-        batch_size = min(config.meta_batch, len(tasks))
-        chosen = rng.choice(len(tasks), size=batch_size, replace=False)
-        batch_tasks = [tasks[int(idx)] for idx in chosen]
-        batchable = fast and len({(t.seq_in, t.seq_out) for t in batch_tasks}) == 1
+    with obs.span(
+        "maml.meta_train",
+        tasks=len(tasks),
+        iterations=config.iterations,
+        engine="fused" if fast else "tape",
+    ):
+        for _ in range(config.iterations):
+            batch_size = min(config.meta_batch, len(tasks))
+            chosen = rng.choice(len(tasks), size=batch_size, replace=False)
+            batch_tasks = [tasks[int(idx)] for idx in chosen]
+            batchable = fast and len({(t.seq_in, t.seq_out) for t in batch_tasks}) == 1
 
-        if batchable:
-            query_losses, update = _meta_batch_fused(model, batch_tasks, config, loss_fn, rng, own_params)
-        else:
-            query_losses, update = _meta_batch_sequential(model, batch_tasks, config, loss_fn, rng, own_params, fast)
+            obs.counter("maml.meta_iterations")
+            obs.counter("maml.batched_iterations" if batchable else "maml.sequential_iterations")
+            if batchable:
+                query_losses, update = _meta_batch_fused(model, batch_tasks, config, loss_fn, rng, own_params)
+            else:
+                query_losses, update = _meta_batch_sequential(model, batch_tasks, config, loss_fn, rng, own_params, fast)
 
-        for name, param in own_params.items():
-            np.subtract(param.data, config.meta_lr * update[name] / batch_size, out=param.data)
-        history.append(float(np.mean(query_losses)))
+            for name, param in own_params.items():
+                np.subtract(param.data, config.meta_lr * update[name] / batch_size, out=param.data)
+            history.append(float(np.mean(query_losses)))
+            obs.histogram("maml.query_loss", history[-1])
     return history
 
 
@@ -256,6 +268,10 @@ def _meta_batch_fused(
     stacked ``(W, ...)`` parameters.
     """
     n_workers = len(batch_tasks)
+    obs.counter("maml.inner_loop_steps", config.inner_steps * n_workers)
+    # One stacked kernel invocation adapts the whole meta-batch per step,
+    # plus the final stacked query pass.
+    obs.counter("maml.fused_kernel_invocations", config.inner_steps + 1)
     drawn = [
         [task.support_batch(config.support_batch, rng) for _ in range(config.inner_steps)]
         for task in batch_tasks

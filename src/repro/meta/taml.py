@@ -20,6 +20,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.meta.learning_task import LearningTask
 from repro.meta.maml import LossFn, MAMLConfig, meta_train
 from repro.meta.task_tree import LearningTaskTree
@@ -76,7 +77,10 @@ def taml_train(
     if tree.theta is None:
         # Root initialisation: a fresh model seeds theta_0.
         tree.theta = model_factory().state_dict()
-    return _train_node(tree, model_factory, loss_fn, cfg, rng)
+    with obs.span("taml.train", nodes=tree.n_nodes(), depth=tree.depth()):
+        obs.gauge("taml.tree_depth", tree.depth())
+        obs.gauge("taml.tree_nodes", tree.n_nodes())
+        return _train_node(tree, model_factory, loss_fn, cfg, rng)
 
 
 def _train_node(
@@ -85,20 +89,26 @@ def _train_node(
     loss_fn: LossFn,
     cfg: TAMLConfig,
     rng: np.random.Generator,
+    depth: int = 0,
 ) -> float:
     assert node.theta is not None
     if node.is_leaf:
-        model = model_factory()
-        model.load_state_dict(node.theta)
-        history = meta_train(model, node.cluster, cfg.resolved_maml(), loss_fn, rng=rng)
-        node.theta = model.state_dict()
-        return history[-1] if history else 0.0
+        with obs.span("taml.leaf", depth=depth, tasks=len(node.cluster)):
+            obs.counter("taml.leaves_trained")
+            model = model_factory()
+            model.load_state_dict(node.theta)
+            history = meta_train(model, node.cluster, cfg.resolved_maml(), loss_fn, rng=rng)
+            node.theta = model.state_dict()
+            loss = history[-1] if history else 0.0
+            obs.histogram("taml.leaf_loss", loss)
+            return loss
 
     losses: list[float] = []
-    for child in node.children:
-        child.theta = {k: v.copy() for k, v in node.theta.items()}
-        losses.append(_train_node(child, model_factory, loss_fn, cfg, rng))
-    avg_loss = float(np.mean(losses))
+    with obs.span("taml.interior", depth=depth, children=len(node.children)):
+        for child in node.children:
+            child.theta = {k: v.copy() for k, v in node.theta.items()}
+            losses.append(_train_node(child, model_factory, loss_fn, cfg, rng, depth + 1))
+        avg_loss = float(np.mean(losses))
 
     # Line 6: step the node toward the children's mean parameters.
     mean_child = {

@@ -1,0 +1,75 @@
+"""Observability for the TAMP pipeline: spans, metrics, manifests.
+
+Three pieces (see ``docs/OBSERVABILITY.md``):
+
+* a **tracer** of nested wall-time spans with JSONL and in-memory
+  sinks (:mod:`repro.obs.recorder`, :mod:`repro.obs.sinks`);
+* a **metrics registry** of counters, gauges, and p50/p90/p99
+  histograms (:mod:`repro.obs.metrics`);
+* **run manifests** capturing config, seed, git SHA, and final
+  metrics per run (:mod:`repro.obs.manifest`).
+
+The default recorder is a no-op singleton, so instrumented hot paths
+cost nothing unless :func:`recording` (or :func:`set_recorder`)
+activates tracing.  Typical use::
+
+    from repro import obs
+
+    with obs.recording(obs.JsonlSink("run.trace.jsonl")):
+        with obs.span("experiment.run_assignment", algorithm="ppi"):
+            ...
+"""
+
+from repro.obs.format import Reporter
+from repro.obs.manifest import RunManifest, git_sha, manifest_path_for, read_manifest
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile
+from repro.obs.recorder import (
+    NOOP,
+    NULL_SPAN,
+    NoopRecorder,
+    Span,
+    TraceRecorder,
+    counter,
+    enabled,
+    gauge,
+    get_recorder,
+    histogram,
+    recording,
+    set_recorder,
+    span,
+)
+from repro.obs.report import TraceReport, aggregate, load_report, render_report
+from repro.obs.sinks import JsonlSink, MemorySink, read_trace
+
+__all__ = [
+    "Reporter",
+    "RunManifest",
+    "git_sha",
+    "manifest_path_for",
+    "read_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+    "NOOP",
+    "NULL_SPAN",
+    "NoopRecorder",
+    "Span",
+    "TraceRecorder",
+    "counter",
+    "enabled",
+    "gauge",
+    "get_recorder",
+    "histogram",
+    "recording",
+    "set_recorder",
+    "span",
+    "TraceReport",
+    "aggregate",
+    "load_report",
+    "render_report",
+    "JsonlSink",
+    "MemorySink",
+    "read_trace",
+]

@@ -1,0 +1,50 @@
+"""Dual human/JSON output for CLI entry points.
+
+The CLI satellites route every ``print()`` through a :class:`Reporter`:
+in human mode lines go straight to the stream; with ``--json`` the
+structured payload accumulates and is emitted as one JSON document at
+:meth:`Reporter.finish` — so scripted callers parse stdout instead of
+scraping aligned columns.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO
+
+
+class Reporter:
+    """Collects a structured payload while optionally printing text."""
+
+    def __init__(self, json_mode: bool = False, stream: IO[str] | None = None) -> None:
+        self.json_mode = json_mode
+        self.stream = stream if stream is not None else sys.stdout
+        self.payload: dict = {}
+
+    def line(self, text: str = "") -> None:
+        """A human-readable line (suppressed in JSON mode)."""
+        if not self.json_mode:
+            print(text, file=self.stream)
+
+    def add(self, key: str, value) -> None:
+        """Attach one field to the structured payload."""
+        self.payload[key] = value
+
+    def table(self, key: str, rows: dict, fmt: str = "  {name:<18} {value:.4f}") -> None:
+        """A name→number mapping: aligned lines in human mode, a nested
+        object under ``key`` in the JSON payload."""
+        self.add(key, {name: float(value) for name, value in rows.items()})
+        for name, value in rows.items():
+            self.line(fmt.format(name=name, value=value))
+
+    def finish(self) -> None:
+        """Flush the JSON document (a no-op in human mode)."""
+        if self.json_mode:
+            print(json.dumps(self.payload, indent=2, default=_default), file=self.stream)
+
+
+def _default(value):
+    if hasattr(value, "tolist"):  # numpy array or scalar
+        return value.tolist()
+    return str(value)

@@ -1,0 +1,114 @@
+"""Run manifests: what ran, with which config, and what came out.
+
+A manifest is a small JSON document written next to a run's results
+(CLI runs, benchmark artefacts) capturing everything needed to
+reproduce or audit the run: the command and argv, the configuration
+knobs, the seed, the git SHA of the working tree, wall-clock bounds,
+and the final metrics.  ``repro.cli`` writes one per traced run;
+``benchmarks/common.write_result`` writes one per bench artefact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+
+def git_sha(cwd: str | Path | None = None) -> str | None:
+    """The current commit SHA (with ``-dirty`` when the tree differs),
+    or ``None`` outside a git checkout / without a git binary."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return f"{sha}-dirty" if status else sha
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+@dataclass
+class RunManifest:
+    """One run's identity card; see module docstring for the fields."""
+
+    command: str
+    argv: list[str] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+    seed: int | None = None
+    git_sha: str | None = None
+    python: str = ""
+    platform: str = ""
+    started_unix: float = 0.0
+    finished_unix: float | None = None
+    duration_s: float | None = None
+    metrics: dict = field(default_factory=dict)
+    trace_path: str | None = None
+
+    @classmethod
+    def start(
+        cls,
+        command: str,
+        argv: list[str] | None = None,
+        config: dict | None = None,
+        seed: int | None = None,
+        repo_dir: str | Path | None = None,
+    ) -> "RunManifest":
+        """A manifest stamped with the environment at run start."""
+        return cls(
+            command=command,
+            argv=list(argv) if argv is not None else [],
+            config=dict(config) if config is not None else {},
+            seed=seed,
+            git_sha=git_sha(repo_dir),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            started_unix=time.time(),
+        )
+
+    def finalize(self, metrics: dict | None = None, trace_path: str | Path | None = None) -> "RunManifest":
+        """Record the run's outcome; returns self for chaining."""
+        self.finished_unix = time.time()
+        self.duration_s = self.finished_unix - self.started_unix
+        if metrics is not None:
+            self.metrics = dict(metrics)
+        if trace_path is not None:
+            self.trace_path = str(trace_path)
+        return self
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def write(self, path: str | Path) -> Path:
+        """Serialise to ``path`` as indented JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, default=str) + "\n")
+        return path
+
+
+def read_manifest(path: str | Path) -> RunManifest:
+    """Load a manifest written by :meth:`RunManifest.write`."""
+    data = json.loads(Path(path).read_text())
+    known = {f for f in RunManifest.__dataclass_fields__}
+    return RunManifest(**{k: v for k, v in data.items() if k in known})
+
+
+def manifest_path_for(trace_path: str | Path) -> Path:
+    """The manifest path conventionally paired with a trace file:
+    ``run.trace.jsonl`` → ``run.manifest.json``."""
+    p = Path(trace_path)
+    name = p.name
+    for suffix in (".trace.jsonl", ".jsonl", ".json"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+            break
+    return p.with_name(name + ".manifest.json")

@@ -1,0 +1,132 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Metrics are named with dotted lowercase paths mirroring the module that
+emits them (``maml.inner_loop_steps``, ``ppi.stage1.assigned``,
+``km.solve_seconds`` — see ``docs/OBSERVABILITY.md`` for the naming
+conventions).  Histograms keep raw observations and summarise to
+count/sum/min/max plus p50/p90/p99 on demand, which is cheap at the
+scales a single experiment run produces (thousands of observations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``.
+
+    Matches ``numpy.percentile``'s default method; implemented in plain
+    Python so the observability layer has no array dependency.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must lie in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = q / 100.0 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, steps, assignments)."""
+
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for signed values")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins value (tree depth, current queue length)."""
+
+    value: float = 0.0
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+
+@dataclass
+class Histogram:
+    """Raw observations with percentile summaries."""
+
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/mean/min/max/p50/p90/p99 of what was observed."""
+        if not self.values:
+            return {"count": 0}
+        total = float(sum(self.values))
+        return {
+            "count": len(self.values),
+            "sum": total,
+            "mean": total / len(self.values),
+            "min": float(min(self.values)),
+            "max": float(max(self.values)),
+            "p50": percentile(self.values, 50.0),
+            "p90": percentile(self.values, 90.0),
+            "p99": percentile(self.values, 99.0),
+        }
+
+
+class MetricsRegistry:
+    """Holds every metric of one recording session, keyed by name.
+
+    A name is bound to a single metric kind for the registry's
+    lifetime; re-using ``maml.inner_loop_steps`` as a gauge after it
+    was a counter raises, catching instrumentation typos early.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: dict) -> None:
+        for registry in (self.counters, self.gauges, self.histograms):
+            if registry is not kind and name in registry:
+                raise ValueError(f"metric '{name}' already registered with a different kind")
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self._check_unique(name, self.counters)
+            self.counters[name] = Counter()
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self._check_unique(name, self.gauges)
+            self.gauges[name] = Gauge()
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self._check_unique(name, self.histograms)
+            self.histograms[name] = Histogram()
+        return self.histograms[name]
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of every metric's current state."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {name: h.summary() for name, h in sorted(self.histograms.items())},
+        }

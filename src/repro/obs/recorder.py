@@ -1,0 +1,276 @@
+"""The tracer: nested wall-time spans plus the active-recorder switch.
+
+The process-wide recorder defaults to :data:`NOOP`, whose ``span``
+returns a shared null context manager and whose metric methods are
+empty — instrumented hot paths cost a single attribute lookup and call
+when observability is off (guarded by ``benchmarks/bench_obs_overhead``).
+Activating observability swaps in a :class:`TraceRecorder`, usually via
+the :func:`recording` context manager::
+
+    from repro import obs
+    from repro.obs import JsonlSink
+
+    with obs.recording(JsonlSink("run.trace.jsonl")) as rec:
+        with obs.span("experiment.run", algorithm="ppi"):
+            ...
+        print(rec.metrics.snapshot())
+
+Span names are dotted lowercase paths (``taml.leaf``, ``ppi.stage2``);
+attributes are small JSON-able values.  The recorder is deliberately
+single-threaded — one span stack per recorder — matching how the
+pipeline runs today; a sharded runner should create one recorder per
+worker process.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class NullSpan:
+    """The do-nothing span handed out while observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "NullSpan":
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class NoopRecorder:
+    """The default recorder: every operation is free and records nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> NullSpan:
+        return NULL_SPAN
+
+    def counter(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def histogram(self, name: str, value: float) -> None:
+        pass
+
+
+NOOP = NoopRecorder()
+
+
+class Span:
+    """One nested wall-time measurement; use as a context manager.
+
+    ``set(**attrs)`` merges attributes at any point before exit, so a
+    stage can record its outcome (e.g. how many pairs it assigned) on
+    the span that timed it.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_unix",
+        "duration_s",
+        "error",
+        "_recorder",
+        "_started",
+    )
+
+    def __init__(self, recorder: "TraceRecorder", name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._recorder = recorder
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.depth = 0
+        self.start_unix = 0.0
+        self.duration_s = 0.0
+        self.error: str | None = None
+        self._started = 0.0
+
+    def set(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._recorder._open(self)
+        self.start_unix = time.time()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._started
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        self._recorder._close(self)
+        return False
+
+    def to_record(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+            "error": self.error,
+        }
+
+
+class TraceRecorder:
+    """An active recorder: span stack, metric registry, and sinks."""
+
+    enabled = True
+
+    def __init__(self, *sinks) -> None:
+        self.sinks = list(sinks)
+        self.metrics = MetricsRegistry()
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._finished = False
+
+    # -- spans ---------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+            span.depth = self._stack[-1].depth + 1
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span '{span.name}' closed out of order; "
+                "spans must nest like context managers"
+            )
+        self._stack.pop()
+        self._emit(span.to_record())
+
+    @property
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- metrics -------------------------------------------------------
+    def counter(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.counter(name).add(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def histogram(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    # -- lifecycle -----------------------------------------------------
+    def _emit(self, record: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def finish(self, strict: bool = True) -> None:
+        """Flush the final metrics snapshot and close the sinks.
+
+        Open spans at finish time are an instrumentation bug; with
+        ``strict`` they raise, otherwise (the unwinding-an-exception
+        path) they are force-closed innermost-first so the trace file
+        stays parseable.
+        """
+        if self._finished:
+            return
+        if self._stack and strict:
+            raise RuntimeError(
+                f"finish() with {len(self._stack)} span(s) still open "
+                f"(innermost: '{self._stack[-1].name}')"
+            )
+        while self._stack:
+            open_span = self._stack[-1]
+            open_span.duration_s = time.perf_counter() - open_span._started
+            open_span.error = open_span.error or "unclosed"
+            self._close(open_span)
+        self._finished = True
+        self._emit({"type": "metrics", **self.metrics.snapshot()})
+        for sink in self.sinks:
+            sink.close()
+
+
+# ---------------------------------------------------------------------
+# The process-wide recorder switch.
+# ---------------------------------------------------------------------
+_recorder = NOOP
+
+
+def get_recorder():
+    """The active recorder (the no-op singleton by default)."""
+    return _recorder
+
+
+def set_recorder(recorder) -> object:
+    """Install ``recorder`` (``None`` restores the no-op); returns the
+    previously active recorder so callers can restore it."""
+    global _recorder
+    previous = _recorder
+    _recorder = recorder if recorder is not None else NOOP
+    return previous
+
+
+def enabled() -> bool:
+    """Whether an active (non-no-op) recorder is installed."""
+    return _recorder.enabled
+
+
+def span(name: str, **attrs):
+    """Open a span on the active recorder (free when observability is off)."""
+    return _recorder.span(name, **attrs)
+
+
+def counter(name: str, amount: float = 1.0) -> None:
+    _recorder.counter(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    _recorder.gauge(name, value)
+
+
+def histogram(name: str, value: float) -> None:
+    _recorder.histogram(name, value)
+
+
+@contextmanager
+def recording(*sinks) -> Iterator[TraceRecorder]:
+    """Run a block under a fresh :class:`TraceRecorder`.
+
+    Installs the recorder for the duration of the block, then finishes
+    it (flushing the metrics snapshot and closing the sinks) and
+    restores whatever recorder was active before.
+    """
+    recorder = TraceRecorder(*sinks)
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    except BaseException:
+        set_recorder(previous)
+        recorder.finish(strict=False)
+        raise
+    else:
+        set_recorder(previous)
+        recorder.finish()

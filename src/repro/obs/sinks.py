@@ -1,0 +1,79 @@
+"""Trace sinks: where finished spans and metric snapshots go.
+
+A sink receives plain-dict records (``{"type": "span", ...}`` or
+``{"type": "metrics", ...}``) as they are produced.  ``JsonlSink``
+appends one JSON object per line — the on-disk trace format that
+``repro.cli trace-report`` reads back; ``MemorySink`` keeps records in
+a list for tests and in-process analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+
+class MemorySink:
+    """Collects records in memory (the test/analysis sink)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+    @property
+    def spans(self) -> list[dict]:
+        return [r for r in self.records if r.get("type") == "span"]
+
+    @property
+    def metrics(self) -> dict | None:
+        """The final metrics snapshot, if the recorder was finished."""
+        for record in reversed(self.records):
+            if record.get("type") == "metrics":
+                return record
+        return None
+
+    def span_names(self) -> list[str]:
+        return [r["name"] for r in self.spans]
+
+
+class JsonlSink:
+    """Appends records to a JSONL trace file, one object per line."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open("w")
+
+    def emit(self, record: dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        self._fh.write(json.dumps(record, default=_jsonable) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _jsonable(value):
+    """Fallback encoder: numpy scalars and arbitrary objects to JSON."""
+    if hasattr(value, "tolist"):  # numpy array or scalar
+        return value.tolist()
+    return str(value)
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Load every record of a JSONL trace file."""
+    records = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.assignment.baselines import km_assign, lower_bound_assign, upper_bound_assign
 from repro.assignment.ggpso import GGPSOConfig, ggpso_assign
 from repro.assignment.ppi import PPIConfig, ppi_assign
@@ -71,6 +72,14 @@ def evaluate_prediction(
     targets are compared in grid-cell units (RMSE/MAE) and in km for
     the matching rate.
     """
+    with obs.span("experiment.evaluate_prediction", workers=len(workers)):
+        return _evaluate_prediction(predictor, workers)
+
+
+def _evaluate_prediction(
+    predictor: TrainedPredictor,
+    workers: Sequence[Worker],
+) -> PredictionReport:
     city = predictor.city
     cfg = predictor.config
     cell_scale = np.array([city.grid.rows, city.grid.cols], dtype=float)
@@ -159,4 +168,16 @@ def run_assignment(
         assignment_window=cfg.assignment_window,
     )
     t_start, t_end = workload.horizon()
-    return platform.run(workload.tasks, assign_fn, t_start, t_end)
+    with obs.span(
+        "experiment.run_assignment",
+        algorithm=algorithm,
+        tasks=len(workload.tasks),
+        workers=len(workload.workers),
+    ) as run_span:
+        result = platform.run(workload.tasks, assign_fn, t_start, t_end)
+        run_span.set(
+            completed=result.n_completed,
+            rejections=result.n_rejections,
+            expired=result.n_expired,
+        )
+    return result

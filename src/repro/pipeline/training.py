@@ -13,6 +13,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.data.generators import City
 from repro.meta.ctml import CTMLConfig, ctml_train
 from repro.meta.features import build_factor_embeddings, build_similarity_matrices
@@ -151,56 +152,67 @@ def train_predictor(
     bank = None
     init_for_worker: Callable[[LearningTask], Mapping[str, np.ndarray]]
 
-    if config.algorithm == "maml":
-        model = factory()
-        history = meta_train(model, list(tasks), config.maml, loss_fn, rng=rng)
-        shared = model.state_dict()
-        init_for_worker = lambda task: shared
-    elif config.algorithm == "ctml":
-        paths = probe_learning_paths(tasks, factory, loss_fn, config.probe_steps, config.probe_lr, config.seed)
-        bank = ctml_train(
-            list(tasks),
-            paths,
-            factory,
-            loss_fn,
-            CTMLConfig(n_clusters=config.ctml_clusters, maml=config.maml),
-            rng=rng,
-        )
-        history = []
-        init_for_worker = lambda task: bank.init_for(task, None)
-    else:
-        use_factors = tuple(factors) if factors is not None else config.gtmc.factors
-        need_paths = "learning_path" in use_factors
-        paths = (
-            probe_learning_paths(tasks, factory, loss_fn, config.probe_steps, config.probe_lr, config.seed)
-            if need_paths
-            else None
-        )
-        sims = build_similarity_matrices(tasks, paths, factors=use_factors, rng=rng)
-        gtmc_cfg = _with_factors(config.gtmc, use_factors)
-        if config.algorithm == "gttaml":
-            tree = gtmc_cluster(tasks, sims, gtmc_cfg, rng=rng)
-        else:  # gttaml_gt
-            embeddings = build_factor_embeddings(tasks, paths, factors=use_factors)
-            tree = kmeans_multilevel_cluster(tasks, embeddings, sims, gtmc_cfg, rng=rng)
-        final_loss = taml_train(tree, factory, loss_fn, TAMLConfig(maml=config.maml), rng=rng)
-        history = [final_loss]
-        leaf_theta = {
-            t.worker_id: leaf.theta for leaf in tree.leaves() for t in leaf.cluster
-        }
-        root_theta = tree.theta
-        init_for_worker = lambda task: leaf_theta.get(task.worker_id, root_theta)
+    with obs.span("training.offline", algorithm=config.algorithm, loss=config.loss, workers=len(tasks)):
+        if config.algorithm == "maml":
+            with obs.span("training.meta_train", algorithm="maml"):
+                model = factory()
+                history = meta_train(model, list(tasks), config.maml, loss_fn, rng=rng)
+            shared = model.state_dict()
+            init_for_worker = lambda task: shared
+        elif config.algorithm == "ctml":
+            with obs.span("training.probe_paths"):
+                paths = probe_learning_paths(tasks, factory, loss_fn, config.probe_steps, config.probe_lr, config.seed)
+            with obs.span("training.meta_train", algorithm="ctml"):
+                bank = ctml_train(
+                    list(tasks),
+                    paths,
+                    factory,
+                    loss_fn,
+                    CTMLConfig(n_clusters=config.ctml_clusters, maml=config.maml),
+                    rng=rng,
+                )
+            history = []
+            init_for_worker = lambda task: bank.init_for(task, None)
+        else:
+            use_factors = tuple(factors) if factors is not None else config.gtmc.factors
+            need_paths = "learning_path" in use_factors
+            if need_paths:
+                with obs.span("training.probe_paths"):
+                    paths = probe_learning_paths(
+                        tasks, factory, loss_fn, config.probe_steps, config.probe_lr, config.seed
+                    )
+            else:
+                paths = None
+            with obs.span("training.cluster", algorithm=config.algorithm, factors=list(use_factors)):
+                sims = build_similarity_matrices(tasks, paths, factors=use_factors, rng=rng)
+                gtmc_cfg = _with_factors(config.gtmc, use_factors)
+                if config.algorithm == "gttaml":
+                    tree = gtmc_cluster(tasks, sims, gtmc_cfg, rng=rng)
+                else:  # gttaml_gt
+                    embeddings = build_factor_embeddings(tasks, paths, factors=use_factors)
+                    tree = kmeans_multilevel_cluster(tasks, embeddings, sims, gtmc_cfg, rng=rng)
+            with obs.span("training.meta_train", algorithm=config.algorithm):
+                final_loss = taml_train(tree, factory, loss_fn, TAMLConfig(maml=config.maml), rng=rng)
+            history = [final_loss]
+            leaf_theta = {
+                t.worker_id: leaf.theta for leaf in tree.leaves() for t in leaf.cluster
+            }
+            root_theta = tree.theta
+            init_for_worker = lambda task: leaf_theta.get(task.worker_id, root_theta)
 
-    # Per-worker adaptation from the selected initialisation.
-    worker_params: dict[int, dict[str, np.ndarray]] = {}
-    matching_rates: dict[int, float] = {}
-    eval_model = factory()
-    for task in tasks:
-        theta = dict(init_for_worker(task))
-        eval_model.load_state_dict(theta)
-        params = fine_tune(eval_model, task, loss_fn, config, rng)
-        worker_params[task.worker_id] = params
-        matching_rates[task.worker_id] = _held_out_matching_rate(eval_model, params, task, city, config)
+        # Per-worker adaptation from the selected initialisation.
+        worker_params: dict[int, dict[str, np.ndarray]] = {}
+        matching_rates: dict[int, float] = {}
+        eval_model = factory()
+        with obs.span("training.adapt", workers=len(tasks)):
+            for task in tasks:
+                theta = dict(init_for_worker(task))
+                eval_model.load_state_dict(theta)
+                params = fine_tune(eval_model, task, loss_fn, config, rng)
+                worker_params[task.worker_id] = params
+                matching_rates[task.worker_id] = _held_out_matching_rate(eval_model, params, task, city, config)
+                obs.counter("training.workers_adapted")
+                obs.histogram("training.worker_mr", matching_rates[task.worker_id])
     elapsed = time.perf_counter() - started
 
     return TrainedPredictor(

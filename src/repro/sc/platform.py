@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.assignment.plan import AssignmentPlan
 from repro.sc.acceptance import evaluate_acceptance
 from repro.sc.entities import SpatialTask, Worker, WorkerSnapshot
@@ -39,7 +40,14 @@ class BatchRecord:
 
 @dataclass
 class SimulationResult:
-    """Aggregate outcome of one simulated horizon."""
+    """Aggregate outcome of one simulated horizon.
+
+    ``algorithm_seconds`` times the assignment calls only;
+    ``prediction_seconds`` times snapshot building (where predictive
+    providers run their model rollouts).  The paper's "time" metric is
+    the platform's whole per-batch cost, so :meth:`metrics` reports
+    their sum as ``running_seconds``.
+    """
 
     n_tasks: int
     n_completed: int
@@ -48,6 +56,7 @@ class SimulationResult:
     n_expired: int
     detours_km: list[float] = field(default_factory=list)
     algorithm_seconds: float = 0.0
+    prediction_seconds: float = 0.0
     batches: list[BatchRecord] = field(default_factory=list)
     completed_task_ids: set[int] = field(default_factory=set)
 
@@ -58,7 +67,7 @@ class SimulationResult:
             n_assignments=self.n_assignments,
             n_rejections=self.n_rejections,
             detours_km=self.detours_km,
-            running_seconds=self.algorithm_seconds,
+            running_seconds=self.algorithm_seconds + self.prediction_seconds,
         )
 
 
@@ -151,6 +160,8 @@ class BatchPlatform:
             for tid in expired:
                 del pending[tid]
                 result.n_expired += 1
+            if expired:
+                obs.counter("platform.expired", len(expired))
 
             available = [
                 w
@@ -159,45 +170,56 @@ class BatchPlatform:
             ]
             batch_tasks = list(pending.values())
             if batch_tasks and available:
-                snapshots = [self.snapshot_provider(w, t) for w in available]
-                started = time.perf_counter()
-                plan = assign_fn(batch_tasks, snapshots, t)
-                result.algorithm_seconds += time.perf_counter() - started
+                with obs.span(
+                    "platform.batch", t=t, pending=len(batch_tasks), available=len(available)
+                ) as batch_span:
+                    with obs.span("platform.predict", workers=len(available)):
+                        started = time.perf_counter()
+                        snapshots = [self.snapshot_provider(w, t) for w in available]
+                        result.prediction_seconds += time.perf_counter() - started
+                    with obs.span("platform.assign", tasks=len(batch_tasks)):
+                        started = time.perf_counter()
+                        plan = assign_fn(batch_tasks, snapshots, t)
+                        result.algorithm_seconds += time.perf_counter() - started
 
-                n_accepted = 0
-                n_rejected = 0
-                for pair in plan:
-                    worker = worker_by_id[pair.worker_id]
-                    task = pending[pair.task_id]
-                    decision = evaluate_acceptance(worker, task, t)
-                    result.n_assignments += 1
-                    if outcome_listener is not None:
-                        outcome_listener(task.task_id, worker.worker_id, decision.accepted, t)
-                    if decision.accepted:
-                        n_accepted += 1
-                        result.n_completed += 1
-                        result.completed_task_ids.add(task.task_id)
-                        result.detours_km.append(decision.detour_km)
-                        del pending[task.task_id]
-                        # The worker keeps following their routine until the
-                        # service detour actually happens; they are only
-                        # unavailable for the time spent off-route (detour
-                        # distance at their speed) plus the current batch.
-                        off_route = decision.detour_km / worker.speed_km_per_min
-                        busy_until[worker.worker_id] = t + self.batch_window + off_route
-                    else:
-                        n_rejected += 1
-                        result.n_rejections += 1
-                result.batches.append(
-                    BatchRecord(
-                        batch_time=t,
-                        n_pending=len(batch_tasks),
-                        n_available=len(available),
-                        n_assigned=len(plan),
-                        n_accepted=n_accepted,
-                        n_rejected=n_rejected,
+                    n_accepted = 0
+                    n_rejected = 0
+                    for pair in plan:
+                        worker = worker_by_id[pair.worker_id]
+                        task = pending[pair.task_id]
+                        decision = evaluate_acceptance(worker, task, t)
+                        result.n_assignments += 1
+                        if outcome_listener is not None:
+                            outcome_listener(task.task_id, worker.worker_id, decision.accepted, t)
+                        if decision.accepted:
+                            n_accepted += 1
+                            result.n_completed += 1
+                            result.completed_task_ids.add(task.task_id)
+                            result.detours_km.append(decision.detour_km)
+                            del pending[task.task_id]
+                            # The worker keeps following their routine until the
+                            # service detour actually happens; they are only
+                            # unavailable for the time spent off-route (detour
+                            # distance at their speed) plus the current batch.
+                            off_route = decision.detour_km / worker.speed_km_per_min
+                            busy_until[worker.worker_id] = t + self.batch_window + off_route
+                        else:
+                            n_rejected += 1
+                            result.n_rejections += 1
+                    obs.counter("platform.assignments", len(plan))
+                    obs.counter("acceptance.accepted", n_accepted)
+                    obs.counter("acceptance.rejections", n_rejected)
+                    batch_span.set(assigned=len(plan), accepted=n_accepted, rejected=n_rejected)
+                    result.batches.append(
+                        BatchRecord(
+                            batch_time=t,
+                            n_pending=len(batch_tasks),
+                            n_available=len(available),
+                            n_assigned=len(plan),
+                            n_accepted=n_accepted,
+                            n_rejected=n_rejected,
+                        )
                     )
-                )
             t += self.batch_window
 
         # Tasks still pending at the horizon's end count as expired.

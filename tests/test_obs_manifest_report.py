@@ -1,0 +1,175 @@
+"""Tests for run manifests, trace-report aggregation, and the Reporter."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    MemorySink,
+    Reporter,
+    RunManifest,
+    aggregate,
+    git_sha,
+    manifest_path_for,
+    read_manifest,
+    render_report,
+)
+
+
+class TestGitSha:
+    def test_repo_checkout_has_sha(self):
+        # The test suite runs from a git checkout; outside one this
+        # returns None, which write()/manifests must tolerate anyway.
+        sha = git_sha()
+        if sha is not None:
+            assert len(sha.split("-")[0]) == 40
+
+    def test_nonexistent_dir_returns_none(self, tmp_path):
+        missing = tmp_path / "not-a-checkout"
+        missing.mkdir()
+        assert git_sha(missing) is None
+
+
+class TestRunManifest:
+    def test_start_stamps_environment(self):
+        m = RunManifest.start(
+            command="assign", argv=["--algorithm", "ppi"], config={"seed": 3}, seed=3
+        )
+        assert m.command == "assign"
+        assert m.argv == ["--algorithm", "ppi"]
+        assert m.config == {"seed": 3}
+        assert m.python.count(".") == 2
+        assert m.platform
+        assert m.started_unix > 0
+        assert m.finished_unix is None
+
+    def test_finalize_and_write_round_trip(self, tmp_path):
+        m = RunManifest.start(command="assign", seed=1)
+        m.finalize(metrics={"completion_ratio": 0.8}, trace_path="run.trace.jsonl")
+        path = m.write(tmp_path / "out" / "run.manifest.json")
+        back = read_manifest(path)
+        assert back.command == "assign"
+        assert back.seed == 1
+        assert back.metrics == {"completion_ratio": 0.8}
+        assert back.trace_path == "run.trace.jsonl"
+        assert back.duration_s is not None and back.duration_s >= 0
+        # The file itself is indented JSON with the documented keys.
+        raw = json.loads(path.read_text())
+        assert {"command", "argv", "config", "seed", "git_sha", "metrics"} <= set(raw)
+
+    def test_read_ignores_unknown_keys(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"command": "x", "some_future_field": 1}))
+        assert read_manifest(path).command == "x"
+
+    def test_manifest_path_for(self):
+        assert manifest_path_for("runs/a.trace.jsonl").name == "a.manifest.json"
+        assert manifest_path_for("a.jsonl").name == "a.manifest.json"
+        assert str(manifest_path_for("runs/a.trace.jsonl").parent) == "runs"
+
+
+def _record_tree():
+    """A small trace: root -> (step x2 -> leaf) with known durations."""
+    sink = MemorySink()
+    with obs.recording(sink):
+        with obs.span("root"):
+            for _ in range(2):
+                with obs.span("step"):
+                    with obs.span("leaf"):
+                        pass
+        obs.counter("hits", 3)
+        obs.histogram("loss", 0.5)
+    return sink.records
+
+
+class TestTraceReport:
+    def test_aggregates_by_name_path(self):
+        report = aggregate(_record_tree())
+        assert report.n_spans == 5
+        paths = set(report.stats)
+        assert ("root",) in paths
+        assert ("root", "step") in paths
+        assert ("root", "step", "leaf") in paths
+        step = report.stats[("root", "step")]
+        assert step.count == 2
+        assert step.depth == 1
+
+    def test_self_time_excludes_children(self):
+        report = aggregate(_record_tree())
+        root = report.stats[("root",)]
+        step = report.stats[("root", "step")]
+        assert root.child_s == pytest.approx(step.total_s)
+        assert root.self_s == pytest.approx(root.total_s - step.total_s)
+        assert report.total_s == pytest.approx(root.total_s)
+
+    def test_by_name_and_total_for(self):
+        report = aggregate(_record_tree())
+        assert [s.path for s in report.by_name("leaf")] == [("root", "step", "leaf")]
+        assert report.total_for("step") == pytest.approx(
+            report.stats[("root", "step")].total_s
+        )
+
+    def test_same_name_under_different_parents_kept_apart(self):
+        sink = MemorySink()
+        with obs.recording(sink):
+            with obs.span("a"):
+                with obs.span("shared"):
+                    pass
+            with obs.span("b"):
+                with obs.span("shared"):
+                    pass
+        report = aggregate(sink.records)
+        assert len(report.by_name("shared")) == 2
+
+    def test_metrics_carried_through(self):
+        report = aggregate(_record_tree())
+        assert report.metrics["counters"]["hits"] == 3.0
+        assert report.metrics["histograms"]["loss"]["count"] == 1
+
+    def test_render_lists_spans_and_metrics(self):
+        report = aggregate(_record_tree())
+        text = render_report(report, title="trace report: t")
+        assert "trace report: t" in text
+        assert "root" in text and "step" in text and "leaf" in text
+        assert "hits" in text and "loss" in text
+        # Children are indented under their parent.
+        lines = text.splitlines()
+        root_line = next(l for l in lines if l.startswith("root"))
+        step_line = next(l for l in lines if l.lstrip().startswith("step"))
+        assert len(step_line) - len(step_line.lstrip()) > 0
+
+    def test_error_spans_flagged(self):
+        sink = MemorySink()
+        with pytest.raises(RuntimeError):
+            with obs.recording(sink):
+                with obs.span("bad"):
+                    raise RuntimeError("x")
+        report = aggregate(sink.records)
+        assert report.stats[("bad",)].errors == 1
+        assert "err" in render_report(report)
+
+
+class TestReporter:
+    def test_human_mode_prints_lines(self):
+        out = io.StringIO()
+        r = Reporter(json_mode=False, stream=out)
+        r.line("hello")
+        r.add("hidden", 1)
+        r.table("metrics", {"a": 1.0}, fmt="{name}={value:.1f}")
+        r.finish()
+        text = out.getvalue()
+        assert "hello" in text and "a=1.0" in text
+        assert "hidden" not in text
+
+    def test_json_mode_emits_one_document(self):
+        out = io.StringIO()
+        r = Reporter(json_mode=True, stream=out)
+        r.line("invisible")
+        r.add("algorithm", "ppi")
+        r.table("metrics", {"a": 1.0})
+        r.finish()
+        payload = json.loads(out.getvalue())
+        assert payload == {"algorithm": "ppi", "metrics": {"a": 1.0}}
+        assert "invisible" not in out.getvalue()
