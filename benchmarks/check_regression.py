@@ -1,17 +1,24 @@
-"""Guard the fused-kernel speedups against performance regressions.
+"""Guard the benchmarked speedups against performance regressions.
 
-Re-runs :mod:`benchmarks.bench_nn_fastpath` and compares the measured
-tape/fused speedup *ratios* against the committed baseline
-``BENCH_nn_fastpath.json``; a shape whose ratio drops by more than
-``TOLERANCE`` (20%) fails.  Ratios are compared rather than absolute
-times because both paths slow down together under host load, so the
-ratio is the stable quantity on shared machines.  When a shape fails
-and both JSON documents carry per-phase span timings (``"phases"``),
-the failure message names the phase whose p50 drifted the most, so a
-regression points at tape vs fused vs batched rather than only at the
-end-to-end ratio.
+Two baselines are guarded, each behind its own opt-in pytest marker:
 
-Run standalone::
+* ``fastpath_bench`` — re-runs :mod:`benchmarks.bench_nn_fastpath` and
+  compares the measured tape/fused speedup *ratios* against the
+  committed ``BENCH_nn_fastpath.json``;
+* ``serve_bench`` — re-runs the ``guard`` shape of
+  :mod:`benchmarks.bench_serve` and compares the dense/sparse per-batch
+  assignment speedup against the committed ``BENCH_serve.json``.
+
+A ratio that drops by more than ``TOLERANCE`` (20%) fails.  Ratios are
+compared rather than absolute times because both arms slow down
+together under host load, so the ratio is the stable quantity on
+shared machines; a transient failure is re-measured once before it
+counts.  When a fast-path shape fails and both JSON documents carry
+per-phase span timings (``"phases"``), the failure message names the
+phase whose p50 drifted the most, so a regression points at tape vs
+fused vs batched rather than only at the end-to-end ratio.
+
+Run standalone (checks every baseline)::
 
     PYTHONPATH=src python benchmarks/check_regression.py
 
@@ -19,6 +26,7 @@ or as an opt-in pytest check (not collected by the default test run,
 which only looks under ``tests/``)::
 
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m fastpath_bench
+    PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m serve_bench
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+import bench_serve  # noqa: E402
 from bench_nn_fastpath import OUTPUT, run  # noqa: E402
 
 TOLERANCE = 0.20
@@ -107,18 +116,56 @@ def check() -> list[str]:
     return failures
 
 
+def check_serve() -> list[str]:
+    """Re-measure the serve bench's guard shape against its baseline.
+
+    Only the guard shape is re-run: it measures both arms fully (no
+    extrapolation), so its dense/sparse ratio is the trustworthy one,
+    and it finishes in seconds where the city-scale headline takes
+    minutes.
+    """
+    if not bench_serve.OUTPUT.exists():
+        raise FileNotFoundError(
+            f"no baseline at {bench_serve.OUTPUT}; run benchmarks/bench_serve.py first"
+        )
+    baseline = json.loads(bench_serve.OUTPUT.read_text())
+    guard = baseline["guard_shape"]
+    base = baseline["shapes"][guard]["speedup"]["batch_assignment"]
+    floor = base * (1.0 - TOLERANCE)
+    failures: list[str] = []
+    for attempt in range(2):
+        current = bench_serve.run({guard: bench_serve.SHAPES[guard]})
+        cur = current["shapes"][guard]["speedup"]["batch_assignment"]
+        print(f"serve/{guard:12s} batch-assignment {cur:6.1f}x (baseline {base:6.1f}x)")
+        if cur >= floor:
+            return []
+        failures = [
+            f"serve/{guard}: batch-assignment speedup {cur:.1f}x fell below "
+            f"{floor:.1f}x (baseline {base:.1f}x - {TOLERANCE:.0%})"
+        ]
+        if attempt == 0:
+            print("below tolerance; re-measuring once to rule out host noise")
+    return failures
+
+
 @pytest.mark.fastpath_bench
 def test_fastpath_no_regression():
     failures = check()
     assert not failures, "fast-path speedup regressed:\n" + "\n".join(failures)
 
 
+@pytest.mark.serve_bench
+def test_serve_no_regression():
+    failures = check_serve()
+    assert not failures, "serving-path speedup regressed:\n" + "\n".join(failures)
+
+
 def main() -> int:
-    failures = check()
+    failures = check() + check_serve()
     if failures:
         print("REGRESSION:", *failures, sep="\n  ")
         return 1
-    print("OK: fused-kernel speedups within tolerance of the committed baseline")
+    print("OK: benchmarked speedups within tolerance of the committed baselines")
     return 0
 
 

@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -39,10 +39,32 @@ def km_assign(
     current_time: float,
 ) -> AssignmentPlan:
     """One global KM matching on predicted proximity (stage-3 graph)."""
+    return km_assign_candidates(tasks, workers, current_time, None)
+
+
+def km_assign_candidates(
+    tasks: Sequence[SpatialTask],
+    workers: Sequence[WorkerSnapshot],
+    current_time: float,
+    candidates: "Mapping[int, Sequence[int]] | None",
+) -> AssignmentPlan:
+    """KM matching restricted to a sparse candidate graph.
+
+    ``candidates`` maps ``task_id`` to the worker ids worth considering
+    (``None`` means every pair).  Because the dense path already prunes
+    pairs beyond the Theorem 2 radius, any candidate graph covering
+    that radius yields the identical matching.
+    """
+    worker_by_id = {w.worker_id: w for w in workers}
     edges: list[tuple[int, int, float]] = []
     for task in tasks:
         tloc = np.array([task.location.x, task.location.y])
-        for worker in workers:
+        pool = (
+            workers
+            if candidates is None
+            else (worker_by_id[w_id] for w_id in candidates.get(task.task_id, ()))
+        )
+        for worker in pool:
             if len(worker.predicted_xy) == 0:
                 continue
             bound = theorem2_bound(

@@ -20,7 +20,7 @@ Discussion).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -68,13 +68,40 @@ class _Candidate:
     min_b: float  # min distance in B (inf when B is empty)
 
 
+#: A sparse candidate graph: ``task_id -> worker ids to consider``, in
+#: the priority order the dense path would have visited them (snapshot
+#: order).  Pairs absent from the graph are never matched, so builders
+#: must produce a superset of the Theorem-2-feasible pairs for the
+#: result to match the dense path exactly (see
+#: :func:`repro.serve.spatial_index.build_candidates`).
+CandidateGraph = Mapping[int, Sequence[int]]
+
+
 def ppi_assign(
     tasks: Sequence[SpatialTask],
     workers: Sequence[WorkerSnapshot],
     current_time: float,
     config: PPIConfig | None = None,
 ) -> AssignmentPlan:
-    """Run Algorithm 4 and return the batch assignment plan."""
+    """Run Algorithm 4 over the dense W x T pair space."""
+    return ppi_assign_candidates(tasks, workers, current_time, None, config)
+
+
+def ppi_assign_candidates(
+    tasks: Sequence[SpatialTask],
+    workers: Sequence[WorkerSnapshot],
+    current_time: float,
+    candidates: CandidateGraph | None,
+    config: PPIConfig | None = None,
+) -> AssignmentPlan:
+    """Run Algorithm 4 over a sparse candidate graph.
+
+    ``candidates`` restricts each task to a subset of workers (``None``
+    means every pair, reproducing :func:`ppi_assign`).  When the graph
+    contains every pair within the Theorem 2 radius, the plan is
+    identical to the dense path's — only the pairs PPI would have
+    discarded anyway are skipped.
+    """
     cfg = config if config is not None else PPIConfig()
     plan = AssignmentPlan()
     if not tasks or not workers:
@@ -88,13 +115,18 @@ def ppi_assign(
     task_by_id = {t.task_id: t for t in tasks}
     worker_by_id = {w.worker_id: w for w in workers}
 
+    def workers_for(task: SpatialTask) -> Sequence[WorkerSnapshot] | Iterator[WorkerSnapshot]:
+        if candidates is None:
+            return workers
+        return (worker_by_id[w_id] for w_id in candidates.get(task.task_id, ()))
+
     assigned_tasks: set[int] = set()
     assigned_workers: set[int] = set()
 
     with obs.span("ppi.stage1", tasks=len(tasks), workers=len(workers)) as s1:
         for task in tasks:
             tloc = np.array([task.location.x, task.location.y])
-            for worker in workers:
+            for worker in workers_for(task):
                 bound = theorem2_bound(
                     worker.detour_budget_km, task.deadline, current_time, worker.speed_km_per_min
                 )
@@ -162,7 +194,7 @@ def ppi_assign(
             if task.task_id in assigned_tasks:
                 continue
             tloc = np.array([task.location.x, task.location.y])
-            for worker in workers:
+            for worker in workers_for(task):
                 if worker.worker_id in assigned_workers:
                     continue
                 if len(worker.predicted_xy) == 0:

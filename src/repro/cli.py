@@ -7,6 +7,8 @@ Examples::
     python -m repro.cli assign --algorithm ppi --trace run.trace.jsonl
     python -m repro.cli trace-report run.trace.jsonl
     python -m repro.cli compare --workload porto-didi --json
+    python -m repro.cli serve-sim --n-workers 2000 --n-tasks 1000 --use-index \
+        --trigger adaptive --pending-threshold 50 --cache-ttl 6
 
 The CLI drives the same pipeline as the benches, at whatever scale the
 flags request.  ``--trace PATH`` records the run as a JSONL span trace
@@ -84,6 +86,39 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("trace-report", help="render the per-stage breakdown of a trace file")
     report.add_argument("trace_file", help="JSONL trace written by --trace")
     report.add_argument("--json", action="store_true", help="emit the aggregates as JSON")
+
+    serve = sub.add_parser(
+        "serve-sim",
+        help="stream a synthetic scenario through the event-driven serving engine",
+    )
+    serve.add_argument("--n-workers", type=int, default=200)
+    serve.add_argument("--n-tasks", type=int, default=400)
+    serve.add_argument("--horizon", type=float, default=60.0, help="minutes of simulated stream")
+    serve.add_argument("--extent", type=float, default=20.0, help="city extent (km, square)")
+    serve.add_argument("--detour", type=float, default=4.0, help="worker detour budget (km)")
+    serve.add_argument("--algorithm", choices=("ppi", "km"), default="ppi")
+    serve.add_argument("--batch-window", type=float, default=2.0)
+    serve.add_argument("--assignment-window", type=float, default=10.0)
+    serve.add_argument(
+        "--trigger", choices=("fixed", "adaptive"), default="fixed",
+        help="batch trigger policy (adaptive fires early under load)",
+    )
+    serve.add_argument("--pending-threshold", type=int, default=None)
+    serve.add_argument("--deadline-slack", type=float, default=None)
+    serve.add_argument(
+        "--max-pending", type=int, default=None,
+        help="bound the pending queue; overflow sheds the least-slack task",
+    )
+    serve.add_argument("--cache-ttl", type=float, default=0.0, help="prediction cache TTL (minutes)")
+    serve.add_argument("--cache-deviation", type=float, default=None,
+                       help="invalidate cached predictions on check-in deviation beyond this (km)")
+    serve.add_argument("--use-index", action="store_true",
+                       help="sparse candidate graph from the uniform-grid index")
+    serve.add_argument("--index-cell", type=float, default=1.0, help="grid cell size (km)")
+    serve.add_argument("--max-candidates", type=int, default=None,
+                       help="keep only the k nearest candidate workers per task")
+    serve.add_argument("--seed", type=int, default=1)
+    add_output_flags(serve)
 
     return parser
 
@@ -237,6 +272,80 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.assignment.baselines import km_assign, km_assign_candidates
+    from repro.assignment.ppi import ppi_assign, ppi_assign_candidates
+    from repro.serve import (
+        DeadReckoningProvider,
+        ServeConfig,
+        ServeEngine,
+        StreamConfig,
+        make_task_stream,
+        make_worker_fleet,
+    )
+
+    reporter = Reporter(json_mode=args.json)
+
+    def body() -> dict:
+        stream = StreamConfig(
+            n_workers=args.n_workers,
+            n_tasks=args.n_tasks,
+            t_end=args.horizon,
+            width_km=args.extent,
+            height_km=args.extent,
+            detour_km=args.detour,
+            seed=args.seed,
+        )
+        tasks = make_task_stream(stream)
+        workers = make_worker_fleet(stream)
+        assign_fn, candidate_fn = {
+            "ppi": (ppi_assign, ppi_assign_candidates),
+            "km": (km_assign, km_assign_candidates),
+        }[args.algorithm]
+        config = ServeConfig(
+            batch_window=args.batch_window,
+            assignment_window=args.assignment_window,
+            trigger=args.trigger,
+            pending_threshold=args.pending_threshold,
+            deadline_slack=args.deadline_slack,
+            max_pending=args.max_pending,
+            cache_ttl=args.cache_ttl,
+            cache_deviation_km=args.cache_deviation,
+            use_index=args.use_index,
+            index_cell_km=args.index_cell,
+            max_candidates=args.max_candidates,
+        )
+        engine = ServeEngine(
+            workers,
+            DeadReckoningProvider(seed=args.seed),
+            config,
+            assign_fn=assign_fn,
+            candidate_assign_fn=candidate_fn,
+        )
+        result = engine.run(tasks, 0.0, args.horizon)
+        reporter.add("algorithm", args.algorithm)
+        reporter.add("trigger", args.trigger)
+        reporter.line(
+            f"algorithm={args.algorithm} trigger={args.trigger} "
+            f"use_index={args.use_index} cache_ttl={args.cache_ttl}"
+        )
+        rows = result.metrics().as_row()
+        rows.update(
+            n_expired=float(result.n_expired),
+            n_shed=float(result.n_shed),
+            n_batches=float(result.n_batches),
+            n_early_batches=float(result.n_early_batches),
+            candidate_sparsity=result.candidate_sparsity,
+            cache_hit_rate=result.cache_hit_rate,
+        )
+        reporter.table("metrics", rows, fmt="  {name:<20} {value:.4f}")
+        return rows
+
+    _observed(args, reporter, body)
+    reporter.finish()
+    return 0
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     report = load_report(args.trace_file)
     if args.json:
@@ -266,6 +375,7 @@ COMMANDS = {
     "predict": cmd_predict,
     "assign": cmd_assign,
     "compare": cmd_compare,
+    "serve-sim": cmd_serve_sim,
     "trace-report": cmd_trace_report,
 }
 

@@ -8,7 +8,7 @@ budgets.
 
 from repro.sc.entities import SpatialTask, Worker, WorkerSnapshot
 from repro.sc.acceptance import AcceptanceDecision, evaluate_acceptance
-from repro.sc.platform import BatchPlatform, SimulationResult, BatchRecord
+from repro.sc.platform import BatchPlatform, SimulationResult, BatchRecord, validate_plan
 from repro.sc.metrics import AssignmentMetrics
 
 __all__ = [
@@ -20,5 +20,6 @@ __all__ = [
     "BatchPlatform",
     "SimulationResult",
     "BatchRecord",
+    "validate_plan",
     "AssignmentMetrics",
 ]

@@ -26,6 +26,43 @@ SnapshotProvider = Callable[[Worker, float], WorkerSnapshot]
 AssignFn = Callable[[Sequence[SpatialTask], Sequence[WorkerSnapshot], float], AssignmentPlan]
 
 
+def validate_plan(
+    plan: AssignmentPlan,
+    pending_task_ids: set[int] | dict[int, SpatialTask],
+    known_worker_ids: set[int] | dict[int, Worker],
+) -> None:
+    """Check an ``assign_fn`` result before the platform acts on it.
+
+    An assignment function is user-pluggable, so a buggy one used to
+    surface as an opaque ``KeyError`` deep inside the acceptance loop.
+    This validates the three invariants the platform relies on — each
+    task and worker appears at most once, every task is currently
+    pending, every worker exists — and raises a ``ValueError`` naming
+    the offending pair.
+    """
+    seen_tasks: set[int] = set()
+    seen_workers: set[int] = set()
+    for pair in plan:
+        if pair.task_id in seen_tasks:
+            raise ValueError(
+                f"invalid assignment plan: task {pair.task_id} assigned more than once"
+            )
+        if pair.worker_id in seen_workers:
+            raise ValueError(
+                f"invalid assignment plan: worker {pair.worker_id} assigned more than once"
+            )
+        if pair.task_id not in pending_task_ids:
+            raise ValueError(
+                f"invalid assignment plan: task {pair.task_id} is not pending in this batch"
+            )
+        if pair.worker_id not in known_worker_ids:
+            raise ValueError(
+                f"invalid assignment plan: worker {pair.worker_id} is unknown to the platform"
+            )
+        seen_tasks.add(pair.task_id)
+        seen_workers.add(pair.worker_id)
+
+
 @dataclass
 class BatchRecord:
     """What happened in one batch window."""
@@ -148,10 +185,14 @@ class BatchPlatform:
                 next_task += 1
             # Expire stale tasks: past their deadline, or cancelled by the
             # requester because no worker was matched within the window.
+            # The deadline check is strict: a task "becomes assignable in
+            # the first batch window at or after" its release and expires
+            # *at* its deadline, so a batch firing exactly at the deadline
+            # still gets one assignment attempt.
             expired = [
                 tid
                 for tid, task in pending.items()
-                if task.deadline <= t
+                if task.deadline < t
                 or (
                     self.assignment_window is not None
                     and t > task.release_time + self.assignment_window
@@ -181,6 +222,7 @@ class BatchPlatform:
                         started = time.perf_counter()
                         plan = assign_fn(batch_tasks, snapshots, t)
                         result.algorithm_seconds += time.perf_counter() - started
+                    validate_plan(plan, pending, worker_by_id)
 
                     n_accepted = 0
                     n_rejected = 0

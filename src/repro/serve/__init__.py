@@ -1,0 +1,65 @@
+"""repro.serve — event-driven streaming assignment engine.
+
+The serving-layer counterpart of :class:`repro.sc.platform.BatchPlatform`:
+a heap-based event loop over task arrivals, deadlines, cancellations,
+and worker check-in/check-out, with pluggable batch triggers, bounded
+pending queues with deadline-aware shedding, a uniform-grid candidate
+index feeding sparse PPI/KM, and a TTL prediction cache with check-in
+deviation invalidation.  See ``docs/SERVING.md``.
+"""
+
+from repro.serve.adapters import (
+    batch_platform_config,
+    result_signature,
+    run_like_batch_platform,
+)
+from repro.serve.engine import CandidateAssignFn, ServeConfig, ServeEngine, ServeResult
+from repro.serve.events import (
+    BatchTick,
+    Event,
+    EventPhase,
+    EventQueue,
+    TaskArrival,
+    TaskCancel,
+    TaskDeadline,
+    WorkerCheckIn,
+    WorkerCheckOut,
+)
+from repro.serve.prediction_cache import CacheStats, PredictionCache
+from repro.serve.spatial_index import UniformGridIndex, build_candidates
+from repro.serve.streams import (
+    DeadReckoningProvider,
+    StreamConfig,
+    make_task_stream,
+    make_worker_fleet,
+)
+from repro.serve.triggers import DemandAdaptiveTrigger, FixedWindowTrigger
+
+__all__ = [
+    "BatchTick",
+    "CacheStats",
+    "CandidateAssignFn",
+    "DeadReckoningProvider",
+    "DemandAdaptiveTrigger",
+    "Event",
+    "EventPhase",
+    "EventQueue",
+    "FixedWindowTrigger",
+    "PredictionCache",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeResult",
+    "StreamConfig",
+    "TaskArrival",
+    "TaskCancel",
+    "TaskDeadline",
+    "UniformGridIndex",
+    "WorkerCheckIn",
+    "WorkerCheckOut",
+    "batch_platform_config",
+    "build_candidates",
+    "make_task_stream",
+    "make_worker_fleet",
+    "result_signature",
+    "run_like_batch_platform",
+]

@@ -1,0 +1,424 @@
+"""The event-driven streaming assignment engine.
+
+``ServeEngine`` drives the same online stage as
+:class:`repro.sc.platform.BatchPlatform` (Fig. 1, Algorithm 4's host
+loop) but as a priority-queue event loop instead of a fixed-step scan:
+
+* **events**, not ticks — task arrivals, deadlines, requester
+  cancellations, and worker check-in/check-out resolve at their own
+  timestamps (:mod:`repro.serve.events`), so per-event work is O(1)
+  instead of an O(W + T) rescan per window;
+* **pluggable batch triggers** — the paper's fixed window, or
+  demand-adaptive firing under queue/deadline pressure
+  (:mod:`repro.serve.triggers`);
+* **bounded pending queue** — with ``max_pending`` set, an arrival
+  into a full queue sheds the task with the least deadline slack (the
+  one least likely to be served anyway) instead of letting the backlog
+  grow without bound;
+* **candidate-set assignment** — with ``use_index`` set, each batch
+  builds a sparse candidate graph from a uniform-grid index over task
+  locations (:mod:`repro.serve.spatial_index`) and feeds it to a
+  candidate-aware assignment function instead of scanning W x T pairs;
+* **prediction cache** — snapshots are served from a TTL cache with
+  check-in deviation invalidation (:mod:`repro.serve.prediction_cache`)
+  instead of being re-predicted every batch.
+
+Configured as fixed-window / unbounded queue / no index / no cache, the
+engine reproduces ``BatchPlatform`` completion, rejection, and expiry
+counts exactly (see :mod:`repro.serve.adapters` and the parity tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.assignment.plan import AssignmentPlan
+from repro.sc.acceptance import evaluate_acceptance
+from repro.sc.entities import SpatialTask, Worker, WorkerSnapshot
+from repro.sc.platform import (
+    AssignFn,
+    BatchRecord,
+    SimulationResult,
+    SnapshotProvider,
+    validate_plan,
+)
+from repro.serve.events import (
+    BatchTick,
+    EventQueue,
+    TaskArrival,
+    TaskCancel,
+    TaskDeadline,
+    WorkerCheckIn,
+    WorkerCheckOut,
+)
+from repro.serve.prediction_cache import PredictionCache
+from repro.serve.spatial_index import build_candidates
+from repro.serve.triggers import DemandAdaptiveTrigger, FixedWindowTrigger
+
+#: A candidate-aware assignment function: like :data:`AssignFn` plus the
+#: sparse candidate graph built by the engine's spatial index.
+CandidateAssignFn = Callable[
+    [Sequence[SpatialTask], Sequence[WorkerSnapshot], float, dict[int, list[int]]],
+    AssignmentPlan,
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of the streaming engine.
+
+    The defaults reproduce ``BatchPlatform`` semantics exactly; every
+    serving feature is opt-in.
+
+    Attributes
+    ----------
+    batch_window:
+        Minutes between scheduled assignment rounds.
+    assignment_window:
+        Requester cancellation window after release (``None`` disables),
+        as in :class:`repro.sc.platform.BatchPlatform`.
+    trigger:
+        ``"fixed"`` or ``"adaptive"`` (demand-adaptive early firing).
+    pending_threshold / deadline_slack / min_trigger_interval:
+        Adaptive-trigger knobs; see
+        :class:`repro.serve.triggers.DemandAdaptiveTrigger`.
+    max_pending:
+        Pending-queue bound; arrivals beyond it shed the task with the
+        least deadline slack.  ``None`` means unbounded.
+    cache_ttl / cache_deviation_km:
+        Prediction-cache freshness knobs; ``cache_ttl=0`` re-predicts
+        every batch like ``BatchPlatform``.
+    use_index:
+        Build a sparse candidate graph per batch and use the
+        candidate-aware assignment path (requires ``candidate_assign_fn``
+        unless the engine falls back to dense).
+    index_cell_km / max_candidates:
+        Grid-bucket size and optional per-task k-nearest cap of the
+        candidate index.
+    """
+
+    batch_window: float = 2.0
+    assignment_window: float | None = 10.0
+    trigger: str = "fixed"
+    pending_threshold: int | None = None
+    deadline_slack: float | None = None
+    min_trigger_interval: float = 0.25
+    max_pending: int | None = None
+    cache_ttl: float = 0.0
+    cache_deviation_km: float | None = None
+    use_index: bool = False
+    index_cell_km: float = 1.0
+    max_candidates: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_window <= 0:
+            raise ValueError("batch window must be positive")
+        if self.assignment_window is not None and self.assignment_window <= 0:
+            raise ValueError("assignment window must be positive (or None)")
+        if self.trigger not in ("fixed", "adaptive"):
+            raise ValueError("trigger must be 'fixed' or 'adaptive'")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1 (or None)")
+        if self.cache_ttl < 0:
+            raise ValueError("cache ttl must be non-negative")
+        if self.index_cell_km <= 0:
+            raise ValueError("index cell size must be positive")
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise ValueError("max_candidates must be at least 1 (or None)")
+
+    def make_trigger(self) -> FixedWindowTrigger:
+        if self.trigger == "fixed":
+            return FixedWindowTrigger(window=self.batch_window)
+        return DemandAdaptiveTrigger(
+            window=self.batch_window,
+            pending_threshold=self.pending_threshold,
+            deadline_slack=self.deadline_slack,
+            min_interval=self.min_trigger_interval,
+        )
+
+
+@dataclass
+class ServeResult(SimulationResult):
+    """``SimulationResult`` plus the serving layer's own accounting."""
+
+    n_shed: int = 0
+    n_batches: int = 0
+    n_early_batches: int = 0
+    n_candidate_pairs: int = 0
+    n_dense_pairs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def candidate_sparsity(self) -> float:
+        """Fraction of the dense pair space the index actually visited."""
+        return self.n_candidate_pairs / self.n_dense_pairs if self.n_dense_pairs else 0.0
+
+
+class ServeEngine:
+    """Event-driven streaming counterpart of ``BatchPlatform``.
+
+    Parameters
+    ----------
+    workers:
+        Worker population with ground-truth routines (their time spans
+        are the check-in/check-out availability windows).
+    snapshot_provider:
+        Builds the platform's view of a worker; wrapped in a
+        :class:`PredictionCache` according to ``config``.
+    config:
+        Engine tunables; the default reproduces ``BatchPlatform``.
+    assign_fn:
+        Dense assignment function (always required — it is also the
+        fallback when the index yields no candidates).
+    candidate_assign_fn:
+        Sparse assignment entry point (e.g. wrapping
+        :func:`repro.assignment.ppi.ppi_assign_candidates`); used when
+        ``config.use_index`` is set.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        snapshot_provider: SnapshotProvider,
+        config: ServeConfig | None = None,
+        assign_fn: AssignFn | None = None,
+        candidate_assign_fn: CandidateAssignFn | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        ids = [w.worker_id for w in workers]
+        if len(set(ids)) != len(ids):
+            raise ValueError("worker ids must be unique")
+        if assign_fn is None:
+            raise ValueError("an assignment function is required")
+        if self.config.use_index and candidate_assign_fn is None:
+            raise ValueError("use_index requires a candidate-aware assignment function")
+        self.workers = list(workers)
+        self.snapshot_provider = snapshot_provider
+        self.assign_fn = assign_fn
+        self.candidate_assign_fn = candidate_assign_fn
+        self._worker_pos = {w.worker_id: i for i, w in enumerate(self.workers)}
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[SpatialTask],
+        t_start: float,
+        t_end: float,
+        outcome_listener: Callable[[int, int, bool, float], None] | None = None,
+    ) -> ServeResult:
+        """Serve the task stream over ``[t_start, t_end]``.
+
+        Events dated past ``t_end`` never fire; tasks still pending at
+        the horizon's end count as expired, as in ``BatchPlatform``.
+        """
+        if t_end < t_start:
+            raise ValueError("t_end must be >= t_start")
+        task_ids = [t.task_id for t in tasks]
+        if len(set(task_ids)) != len(task_ids):
+            raise ValueError("task ids must be unique")
+
+        cfg = self.config
+        trigger = cfg.make_trigger()
+        cache = PredictionCache(
+            provider=self.snapshot_provider,
+            ttl=cfg.cache_ttl,
+            deviation_km=cfg.cache_deviation_km,
+        )
+        result = ServeResult(
+            n_tasks=len(tasks), n_completed=0, n_assignments=0, n_rejections=0, n_expired=0
+        )
+        pending: dict[int, SpatialTask] = {}
+        busy_until: dict[int, float] = {}
+        online: dict[int, Worker] = {}
+        worker_by_id = {w.worker_id: w for w in self.workers}
+        horizon_end = t_end + 1e-9
+
+        queue = EventQueue()
+        # Task arrivals (sorted so same-time ties resolve by release order,
+        # matching BatchPlatform's release scan) with their deadline and
+        # cancellation events.
+        for task in sorted(tasks, key=lambda t: t.release_time):
+            arrival = max(task.release_time, t_start)
+            if arrival > horizon_end:
+                continue
+            queue.push(TaskArrival(time=arrival, task=task))
+            queue.push(TaskDeadline(time=task.deadline, task_id=task.task_id))
+            if cfg.assignment_window is not None:
+                # Anchored on the *release* time, like BatchPlatform's
+                # cancellation check; a window that closed before the
+                # arrival is handled dead-on-arrival below.
+                cancel_at = task.release_time + cfg.assignment_window
+                if cancel_at >= arrival:
+                    queue.push(TaskCancel(time=cancel_at, task_id=task.task_id))
+        # Worker availability windows.
+        for worker in self.workers:
+            start = worker.routine.start_time
+            end = worker.routine.end_time
+            if end < t_start or start > horizon_end:
+                continue
+            queue.push(WorkerCheckIn(time=max(start, t_start), worker=worker))
+            queue.push(WorkerCheckOut(time=end, worker_id=worker.worker_id))
+        # The first scheduled batch.
+        tick_generation = 0
+        queue.push(BatchTick(time=t_start, generation=tick_generation))
+
+        last_batch = t_start - cfg.batch_window
+
+        def shed_for(new_task: SpatialTask) -> SpatialTask | None:
+            """Deadline-aware shedding: victim with the least slack."""
+            victim = new_task
+            for candidate in pending.values():
+                if candidate.deadline < victim.deadline:
+                    victim = candidate
+            return victim
+
+        def run_batch(t: float, early: bool) -> None:
+            nonlocal last_batch, tick_generation
+            last_batch = t
+            available = [
+                worker_by_id[w_id]
+                for w_id in sorted(online, key=self._worker_pos.__getitem__)
+                if busy_until.get(w_id, -1.0) <= t
+            ]
+            batch_tasks = list(pending.values())
+            obs.gauge("serve.queue.pending", len(pending))
+            obs.gauge("serve.workers.available", len(available))
+            if not batch_tasks or not available:
+                return
+            batch_started = time.perf_counter()
+            with obs.span(
+                "serve.batch", t=t, pending=len(batch_tasks), available=len(available), early=early
+            ) as batch_span:
+                with obs.span("serve.predict", workers=len(available)):
+                    started = time.perf_counter()
+                    snapshots = [cache.get(w, t) for w in available]
+                    result.prediction_seconds += time.perf_counter() - started
+                result.n_dense_pairs += len(batch_tasks) * len(available)
+                with obs.span("serve.assign", tasks=len(batch_tasks)):
+                    started = time.perf_counter()
+                    if cfg.use_index and self.candidate_assign_fn is not None:
+                        candidates = build_candidates(
+                            batch_tasks,
+                            snapshots,
+                            t,
+                            cell_km=cfg.index_cell_km,
+                            max_candidates=cfg.max_candidates,
+                        )
+                        result.n_candidate_pairs += sum(len(v) for v in candidates.values())
+                        plan = self.candidate_assign_fn(batch_tasks, snapshots, t, candidates)
+                    else:
+                        result.n_candidate_pairs += len(batch_tasks) * len(available)
+                        plan = self.assign_fn(batch_tasks, snapshots, t)
+                    result.algorithm_seconds += time.perf_counter() - started
+                validate_plan(plan, pending, worker_by_id)
+
+                n_accepted = 0
+                n_rejected = 0
+                for pair in plan:
+                    worker = worker_by_id[pair.worker_id]
+                    task = pending[pair.task_id]
+                    decision = evaluate_acceptance(worker, task, t)
+                    result.n_assignments += 1
+                    if outcome_listener is not None:
+                        outcome_listener(task.task_id, worker.worker_id, decision.accepted, t)
+                    if decision.accepted:
+                        n_accepted += 1
+                        result.n_completed += 1
+                        result.completed_task_ids.add(task.task_id)
+                        result.detours_km.append(decision.detour_km)
+                        del pending[task.task_id]
+                        # Same busy model as BatchPlatform: off-route for
+                        # the detour distance at the worker's speed, plus
+                        # the current window.
+                        off_route = decision.detour_km / worker.speed_km_per_min
+                        busy_until[worker.worker_id] = t + cfg.batch_window + off_route
+                    else:
+                        n_rejected += 1
+                        result.n_rejections += 1
+                obs.counter("serve.assignments", len(plan))
+                obs.counter("serve.accepted", n_accepted)
+                obs.counter("serve.rejections", n_rejected)
+                obs.histogram("serve.batch.latency_s", time.perf_counter() - batch_started)
+                batch_span.set(assigned=len(plan), accepted=n_accepted, rejected=n_rejected)
+                result.batches.append(
+                    BatchRecord(
+                        batch_time=t,
+                        n_pending=len(batch_tasks),
+                        n_available=len(available),
+                        n_assigned=len(plan),
+                        n_accepted=n_accepted,
+                        n_rejected=n_rejected,
+                    )
+                )
+                result.n_batches += 1
+                if early:
+                    result.n_early_batches += 1
+                    obs.counter("serve.batches.early")
+
+        while queue and queue.peek_time() <= horizon_end:
+            event = queue.pop()
+            if isinstance(event, TaskArrival):
+                task = event.task
+                # Dead on arrival: a task released before the horizon whose
+                # deadline or cancellation window already passed.
+                # BatchPlatform releases and expires these in the same
+                # tick, never attempting assignment.
+                if task.deadline < event.time or (
+                    cfg.assignment_window is not None
+                    and event.time > task.release_time + cfg.assignment_window
+                ):
+                    result.n_expired += 1
+                    obs.counter("serve.expired")
+                    continue
+                if cfg.max_pending is not None and len(pending) >= cfg.max_pending:
+                    victim = shed_for(task)
+                    if victim.task_id != task.task_id:
+                        del pending[victim.task_id]
+                        pending[task.task_id] = task
+                    result.n_shed += 1
+                    obs.counter("serve.shed.tasks")
+                else:
+                    pending[task.task_id] = task
+                if trigger.should_fire_early(event.time, last_batch, pending):
+                    tick_generation += 1
+                    queue.push(BatchTick(time=event.time, generation=tick_generation))
+            elif isinstance(event, BatchTick):
+                if event.generation != tick_generation:
+                    continue  # superseded by an early fire
+                early = event.time - last_batch < cfg.batch_window - 1e-9
+                run_batch(event.time, early=early)
+                tick_generation += 1
+                queue.push(
+                    BatchTick(time=trigger.next_tick(event.time), generation=tick_generation)
+                )
+            elif isinstance(event, TaskDeadline):
+                if event.task_id in pending:
+                    del pending[event.task_id]
+                    result.n_expired += 1
+                    obs.counter("serve.expired")
+            elif isinstance(event, TaskCancel):
+                if event.task_id in pending:
+                    del pending[event.task_id]
+                    result.n_expired += 1
+                    obs.counter("serve.cancelled")
+            elif isinstance(event, WorkerCheckIn):
+                online[event.worker.worker_id] = event.worker
+            elif isinstance(event, WorkerCheckOut):
+                online.pop(event.worker_id, None)
+
+        # Tasks still pending at the horizon's end count as expired.
+        result.n_expired += len(pending)
+        result.cache_hits = cache.stats.hits
+        result.cache_misses = cache.stats.misses
+        result.cache_invalidations = cache.stats.invalidations
+        return result

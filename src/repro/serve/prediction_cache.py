@@ -1,0 +1,162 @@
+"""TTL cache of worker snapshots keyed by (worker, prediction horizon).
+
+``BatchPlatform.run`` re-predicts every available worker every batch —
+with a 2-minute window and a 10-minute prediction sample step, five
+consecutive batches recompute what is essentially the same rollout.
+The cache keeps each worker's last snapshot alive for ``ttl`` minutes
+of simulated time and serves it back with only the (cheap)
+``current_location`` refreshed.
+
+A cached forecast is dropped early when the worker's *check-in
+deviates* from it: the platform compares the location the worker just
+shared against the cached trajectory's predicted position for that
+time, and a gap beyond ``deviation_km`` means the worker broke from the
+predicted route, so the stale rollout would poison assignment.  With
+``ttl=0`` the cache is a passthrough, reproducing ``BatchPlatform``'s
+predict-every-batch behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro import obs
+from repro.sc.entities import Worker, WorkerSnapshot
+from repro.sc.platform import SnapshotProvider
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, also mirrored to ``serve.cache.*`` metrics."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "invalidations": float(self.invalidations),
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    snapshot: WorkerSnapshot
+    created: float
+
+
+@dataclass
+class PredictionCache:
+    """Wraps a :data:`SnapshotProvider` with TTL + deviation caching.
+
+    Attributes
+    ----------
+    provider:
+        The underlying (expensive) snapshot builder.
+    ttl:
+        How long a snapshot stays fresh, in simulated minutes.  ``0``
+        disables caching entirely.
+    deviation_km:
+        Invalidate when the worker's shared location is further than
+        this from the cached prediction for the current time (``None``
+        disables the check).
+    horizon:
+        Cache key component: snapshots predicted for different horizons
+        must not satisfy each other's lookups.
+    """
+
+    provider: SnapshotProvider
+    ttl: float = 0.0
+    deviation_km: float | None = None
+    horizon: int | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: dict[tuple[int, int | None], _Entry] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise ValueError("cache ttl must be non-negative")
+        if self.deviation_km is not None and self.deviation_km < 0:
+            raise ValueError("deviation threshold must be non-negative")
+
+    def __call__(self, worker: Worker, t: float) -> WorkerSnapshot:
+        return self.get(worker, t)
+
+    def get(self, worker: Worker, t: float) -> WorkerSnapshot:
+        key = (worker.worker_id, self.horizon)
+        if self.ttl > 0:
+            entry = self._entries.get(key)
+            if entry is not None and t - entry.created <= self.ttl + 1e-9:
+                if self._deviated(entry, worker, t):
+                    self.stats.invalidations += 1
+                    obs.counter("serve.cache.invalidations")
+                    del self._entries[key]
+                else:
+                    self.stats.hits += 1
+                    obs.counter("serve.cache.hits")
+                    return replace(
+                        entry.snapshot, current_location=worker.last_shared_location(t)
+                    )
+            elif entry is not None:
+                # Expired by TTL; drop silently (counted as a miss below).
+                del self._entries[key]
+
+        self.stats.misses += 1
+        obs.counter("serve.cache.misses")
+        snapshot = self.provider(worker, t)
+        if self.ttl > 0:
+            self._entries[key] = _Entry(snapshot=snapshot, created=t)
+        return snapshot
+
+    def invalidate(self, worker_id: int) -> None:
+        """Explicitly drop every cached horizon for one worker."""
+        stale = [key for key in self._entries if key[0] == worker_id]
+        for key in stale:
+            del self._entries[key]
+
+    def _deviated(self, entry: _Entry, worker: Worker, t: float) -> bool:
+        """Has the worker's check-in broken from the cached forecast?"""
+        if self.deviation_km is None:
+            return False
+        predicted = self._predicted_position(entry.snapshot, t)
+        if predicted is None:
+            return False
+        here = worker.last_shared_location(t)
+        gap = float(np.hypot(predicted[0] - here.x, predicted[1] - here.y))
+        return gap > self.deviation_km
+
+    @staticmethod
+    def _predicted_position(snapshot: WorkerSnapshot, t: float) -> np.ndarray | None:
+        """Where the cached forecast says the worker is at time ``t``.
+
+        Interpolates between the snapshot's origin (current location at
+        creation) and its predicted points; ``None`` when the forecast
+        has no points.
+        """
+        times = snapshot.predicted_times
+        xy = snapshot.predicted_xy
+        if len(xy) == 0:
+            return None
+        origin = np.array([snapshot.current_location.x, snapshot.current_location.y])
+        if t <= times[0]:
+            return origin if t < times[0] else xy[0]
+        idx = int(np.searchsorted(times, t))
+        if idx >= len(times):
+            return xy[-1]
+        t0, t1 = times[idx - 1], times[idx]
+        if t1 <= t0:
+            return xy[idx]
+        frac = (t - t0) / (t1 - t0)
+        return xy[idx - 1] + frac * (xy[idx] - xy[idx - 1])

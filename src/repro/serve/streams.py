@@ -1,0 +1,166 @@
+"""Seedable synthetic task/worker streams for serving-scale runs.
+
+The experiment workloads (:mod:`repro.data`) train real mobility models
+and top out at hundreds of workers; the serving benchmarks need tens of
+thousands.  This module generates streaming-scale scenarios directly:
+Poisson task arrivals over a planar extent, workers with piecewise-
+linear waypoint routines and staggered availability windows, and a
+cheap geometric snapshot provider (dead-reckoning extrapolation of the
+last shared movement, optionally noised) standing in for the neural
+predictors whose cost is not what the serving layer measures.
+
+Everything is driven by one integer seed, so two engines replaying the
+same scenario see byte-identical streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.geo.trajectory import Trajectory, TrajectoryPoint
+from repro.sc.entities import SpatialTask, Worker, WorkerSnapshot
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Shape of one synthetic serving scenario.
+
+    Times are minutes; the extent is a ``width_km x height_km`` plane.
+    Tasks arrive as a homogeneous Poisson process over
+    ``[t_start, t_end]`` with uniform locations; each stays valid for a
+    uniform draw from ``[valid_min, valid_max]`` minutes.  Workers get
+    ``n_waypoints`` uniform waypoints walked at ``speed_km_per_min``
+    and an availability window covering a random sub-span of the
+    horizon (at least ``min_shift_fraction`` of it).
+    """
+
+    n_workers: int = 100
+    n_tasks: int = 200
+    t_start: float = 0.0
+    t_end: float = 60.0
+    width_km: float = 20.0
+    height_km: float = 10.0
+    valid_min: float = 10.0
+    valid_max: float = 30.0
+    detour_km: float = 4.0
+    speed_km_per_min: float = 1.0
+    n_waypoints: int = 4
+    route_step_minutes: float = 5.0
+    min_shift_fraction: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1 or self.n_tasks < 0:
+            raise ValueError("need at least one worker and a non-negative task count")
+        if self.t_end <= self.t_start:
+            raise ValueError("horizon must have positive length")
+        if self.valid_min <= 0 or self.valid_max < self.valid_min:
+            raise ValueError("valid-time range must be positive and ordered")
+        if not 0.0 < self.min_shift_fraction <= 1.0:
+            raise ValueError("min_shift_fraction must lie in (0, 1]")
+
+
+def make_task_stream(cfg: StreamConfig) -> list[SpatialTask]:
+    """Poisson-arrival task stream over the scenario horizon."""
+    rng = np.random.default_rng(cfg.seed)
+    span = cfg.t_end - cfg.t_start
+    releases = np.sort(rng.uniform(cfg.t_start, cfg.t_end, size=cfg.n_tasks))
+    # Conditioned on the count, homogeneous Poisson arrivals are iid
+    # uniforms — sorting them gives the ordered stream.
+    del span
+    xs = rng.uniform(0.0, cfg.width_km, size=cfg.n_tasks)
+    ys = rng.uniform(0.0, cfg.height_km, size=cfg.n_tasks)
+    valid = rng.uniform(cfg.valid_min, cfg.valid_max, size=cfg.n_tasks)
+    return [
+        SpatialTask(
+            task_id=i,
+            location=Point(float(xs[i]), float(ys[i])),
+            release_time=float(releases[i]),
+            deadline=float(releases[i] + valid[i]),
+        )
+        for i in range(cfg.n_tasks)
+    ]
+
+
+def make_worker_fleet(cfg: StreamConfig) -> list[Worker]:
+    """Workers with waypoint routines and staggered shift windows."""
+    rng = np.random.default_rng(cfg.seed + 1)
+    span = cfg.t_end - cfg.t_start
+    workers: list[Worker] = []
+    for worker_id in range(cfg.n_workers):
+        shift_len = rng.uniform(cfg.min_shift_fraction, 1.0) * span
+        shift_start = cfg.t_start + rng.uniform(0.0, span - shift_len)
+        waypoints = np.column_stack(
+            [
+                rng.uniform(0.0, cfg.width_km, size=cfg.n_waypoints),
+                rng.uniform(0.0, cfg.height_km, size=cfg.n_waypoints),
+            ]
+        )
+        n_samples = max(int(shift_len / cfg.route_step_minutes) + 1, 2)
+        # Walk the waypoint chain at constant parameter speed; sample
+        # times are evenly spaced over the shift.
+        ts = np.linspace(shift_start, shift_start + shift_len, n_samples)
+        frac = np.linspace(0.0, cfg.n_waypoints - 1.0, n_samples)
+        lo = np.minimum(frac.astype(int), cfg.n_waypoints - 2)
+        w = frac - lo
+        xy = waypoints[lo] * (1.0 - w[:, None]) + waypoints[lo + 1] * w[:, None]
+        routine = Trajectory(
+            TrajectoryPoint(Point(float(x), float(y)), float(t))
+            for (x, y), t in zip(xy, ts)
+        )
+        workers.append(
+            Worker(
+                worker_id=worker_id,
+                routine=routine,
+                detour_budget_km=cfg.detour_km,
+                speed_km_per_min=cfg.speed_km_per_min,
+            )
+        )
+    return workers
+
+
+@dataclass
+class DeadReckoningProvider:
+    """A cheap geometric snapshot provider for serving-scale runs.
+
+    Extrapolates the worker's last shared movement vector for
+    ``horizon_points`` steps of ``sample_step`` minutes, optionally
+    perturbed by seeded Gaussian noise (``noise_km``), with a fixed
+    nominal matching rate.  It exercises the same snapshot interface as
+    the neural providers at a tiny fraction of the cost, which is what
+    the serving benchmarks need: the engine under test, not the model.
+    """
+
+    horizon_points: int = 6
+    sample_step: float = 10.0
+    noise_km: float = 0.0
+    matching_rate: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def __call__(self, worker: Worker, t: float) -> WorkerSnapshot:
+        here = worker.last_shared_location(t)
+        earlier = worker.last_shared_location(t - self.sample_step)
+        velocity = np.array([here.x - earlier.x, here.y - earlier.y])
+        norm = float(np.hypot(*velocity))
+        if norm > 0:
+            velocity = velocity / norm * worker.speed_km_per_min * self.sample_step
+        steps = np.arange(1, self.horizon_points + 1, dtype=float)[:, None]
+        pred_xy = np.array([here.x, here.y]) + steps * velocity
+        if self.noise_km > 0:
+            pred_xy = pred_xy + self._rng.normal(0.0, self.noise_km, size=pred_xy.shape)
+        pred_times = t + self.sample_step * steps.ravel()
+        return WorkerSnapshot(
+            worker_id=worker.worker_id,
+            current_location=here,
+            predicted_xy=pred_xy,
+            predicted_times=pred_times,
+            detour_budget_km=worker.detour_budget_km,
+            speed_km_per_min=worker.speed_km_per_min,
+            matching_rate=self.matching_rate,
+        )

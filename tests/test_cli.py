@@ -27,6 +27,21 @@ class TestParser:
         assert args.n_tasks == 50
         assert args.detour == 6.0
 
+    def test_serve_sim_flags(self):
+        args = build_parser().parse_args(
+            ["serve-sim", "--trigger", "adaptive", "--pending-threshold", "20",
+             "--use-index", "--cache-ttl", "6", "--max-pending", "100"]
+        )
+        assert args.trigger == "adaptive"
+        assert args.pending_threshold == 20
+        assert args.use_index
+        assert args.cache_ttl == 6.0
+        assert args.max_pending == 100
+
+    def test_serve_sim_rejects_unknown_trigger(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--trigger", "psychic"])
+
 
 class TestCommands:
     def test_predict_runs(self, capsys):
@@ -61,3 +76,27 @@ class TestCommands:
             "--n-workers", "5", "--n-tasks", "30", "--n-train-days", "2",
         ])
         assert code == 0
+
+    def test_serve_sim_runs(self, capsys):
+        code = main([
+            "serve-sim", "--n-workers", "20", "--n-tasks", "40", "--horizon", "30",
+            "--use-index", "--cache-ttl", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completion_ratio" in out
+        assert "cache_hit_rate" in out
+
+    def test_serve_sim_json_and_trace(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "serve.trace.jsonl"
+        code = main([
+            "serve-sim", "--n-workers", "15", "--n-tasks", "30", "--horizon", "20",
+            "--algorithm", "km", "--trigger", "adaptive", "--pending-threshold", "5",
+            "--json", "--trace", str(trace),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" in payload and "n_batches" in payload["metrics"]
+        assert trace.exists()

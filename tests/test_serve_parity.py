@@ -1,0 +1,160 @@
+"""Equivalence tests: the serving engine vs. the batch platform.
+
+Two exactness claims anchor the serving layer:
+
+1. Configured fixed-window / unbounded queue / no index / no cache, the
+   event-driven engine reproduces ``BatchPlatform.run`` **exactly** —
+   same completion/rejection/expiry counts, same detours, same
+   per-batch records.
+2. The sparse candidate graph from the uniform-grid index is a superset
+   of every Theorem-2-feasible pair, so candidate-aware PPI/KM return
+   the identical plans the dense scan would.
+
+The horizons here are multiples of the batch window: the fixed-step
+loop only releases tasks at ticks, so a ragged horizon would leave the
+tail tasks unreleased on one side (documented in
+:mod:`repro.serve.adapters`).
+"""
+
+import pytest
+
+from repro.assignment.baselines import km_assign, km_assign_candidates
+from repro.assignment.ppi import ppi_assign, ppi_assign_candidates
+from repro.sc.platform import BatchPlatform
+from repro.serve import (
+    DeadReckoningProvider,
+    ServeConfig,
+    ServeEngine,
+    StreamConfig,
+    batch_platform_config,
+    make_task_stream,
+    make_worker_fleet,
+    result_signature,
+    run_like_batch_platform,
+)
+
+from tests.test_sc import greedy_assign, oracle_provider
+
+
+def scenario(seed, **overrides):
+    cfg = StreamConfig(
+        n_workers=overrides.pop("n_workers", 30),
+        n_tasks=overrides.pop("n_tasks", 60),
+        t_end=overrides.pop("t_end", 60.0),
+        seed=seed,
+        **overrides,
+    )
+    return make_task_stream(cfg), make_worker_fleet(cfg)
+
+
+class TestBatchPlatformParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("assign_fn", [ppi_assign, km_assign, greedy_assign])
+    def test_counts_and_batches_match(self, seed, assign_fn):
+        tasks, workers = scenario(seed)
+        provider = DeadReckoningProvider(seed=seed)
+        platform = BatchPlatform(workers, provider, batch_window=2.0, assignment_window=10.0)
+        reference = platform.run(tasks, assign_fn, 0.0, 60.0)
+        streamed = run_like_batch_platform(
+            workers, provider, tasks, assign_fn, 0.0, 60.0,
+            batch_window=2.0, assignment_window=10.0,
+        )
+        assert result_signature(streamed) == result_signature(reference)
+
+    def test_parity_without_assignment_window(self):
+        tasks, workers = scenario(5)
+        provider = DeadReckoningProvider(seed=5)
+        platform = BatchPlatform(workers, provider, batch_window=2.0, assignment_window=None)
+        reference = platform.run(tasks, ppi_assign, 0.0, 60.0)
+        streamed = run_like_batch_platform(
+            workers, provider, tasks, ppi_assign, 0.0, 60.0,
+            batch_window=2.0, assignment_window=None,
+        )
+        assert result_signature(streamed) == result_signature(reference)
+
+    def test_parity_with_oracle_provider(self):
+        tasks, workers = scenario(6, n_workers=10, n_tasks=30)
+        platform = BatchPlatform(workers, oracle_provider, batch_window=3.0)
+        reference = platform.run(tasks, ppi_assign, 0.0, 60.0)
+        streamed = run_like_batch_platform(
+            workers, oracle_provider, tasks, ppi_assign, 0.0, 60.0, batch_window=3.0
+        )
+        assert result_signature(streamed) == result_signature(reference)
+
+    def test_parity_of_outcome_listener_streams(self):
+        tasks, workers = scenario(7)
+        provider = DeadReckoningProvider(seed=7)
+        ref_events, got_events = [], []
+        platform = BatchPlatform(workers, provider, batch_window=2.0)
+        platform.run(
+            tasks, ppi_assign, 0.0, 60.0,
+            outcome_listener=lambda *event: ref_events.append(event),
+        )
+        run_like_batch_platform(
+            workers, provider, tasks, ppi_assign, 0.0, 60.0,
+            outcome_listener=lambda *event: got_events.append(event),
+        )
+        assert got_events == ref_events
+
+    def test_batch_platform_config_disables_serving_features(self):
+        cfg = batch_platform_config(batch_window=1.5, assignment_window=None)
+        assert cfg.trigger == "fixed"
+        assert cfg.max_pending is None
+        assert cfg.cache_ttl == 0.0
+        assert not cfg.use_index
+        assert cfg.batch_window == 1.5
+        assert cfg.assignment_window is None
+
+
+class TestSparseDenseExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize(
+        "dense_fn,candidate_fn",
+        [(ppi_assign, ppi_assign_candidates), (km_assign, km_assign_candidates)],
+        ids=["ppi", "km"],
+    )
+    def test_sparse_plans_match_dense(self, seed, dense_fn, candidate_fn):
+        # A wide extent so the index actually prunes.
+        tasks, workers = scenario(seed, width_km=40.0, height_km=40.0)
+        provider = DeadReckoningProvider(seed=seed)
+        dense = ServeEngine(workers, provider, ServeConfig(), assign_fn=dense_fn)
+        sparse = ServeEngine(
+            workers,
+            provider,
+            ServeConfig(use_index=True, index_cell_km=2.0),
+            assign_fn=dense_fn,
+            candidate_assign_fn=candidate_fn,
+        )
+        r_dense = dense.run(tasks, 0.0, 60.0)
+        r_sparse = sparse.run(tasks, 0.0, 60.0)
+        assert result_signature(r_sparse) == result_signature(r_dense)
+        assert r_sparse.n_candidate_pairs < r_sparse.n_dense_pairs
+
+    def test_sparse_matches_when_everything_is_in_range(self):
+        """A tiny extent: the candidate graph is (nearly) dense and the
+        plans still coincide."""
+        tasks, workers = scenario(4, width_km=2.0, height_km=2.0)
+        provider = DeadReckoningProvider(seed=4)
+        dense = ServeEngine(workers, provider, ServeConfig(), assign_fn=ppi_assign)
+        sparse = ServeEngine(
+            workers,
+            provider,
+            ServeConfig(use_index=True, index_cell_km=0.5),
+            assign_fn=ppi_assign,
+            candidate_assign_fn=ppi_assign_candidates,
+        )
+        assert result_signature(sparse.run(tasks, 0.0, 60.0)) == result_signature(
+            dense.run(tasks, 0.0, 60.0)
+        )
+
+    def test_cache_passthrough_preserves_parity(self):
+        """ttl=0 caching must not change a single outcome."""
+        tasks, workers = scenario(8)
+        provider = DeadReckoningProvider(seed=8)
+        plain = ServeEngine(workers, provider, ServeConfig(), assign_fn=ppi_assign)
+        cached = ServeEngine(
+            workers, provider, ServeConfig(cache_ttl=0.0), assign_fn=ppi_assign
+        )
+        assert result_signature(cached.run(tasks, 0.0, 60.0)) == result_signature(
+            plain.run(tasks, 0.0, 60.0)
+        )
