@@ -43,7 +43,7 @@ from common import write_result  # noqa: E402
 
 from repro import obs  # noqa: E402
 from repro.assignment.ppi import ppi_assign, ppi_assign_candidates  # noqa: E402
-from repro.obs import MemorySink  # noqa: E402
+from repro.obs import MemorySink, MonitorConfig  # noqa: E402
 from repro.serve import (  # noqa: E402
     DeadReckoningProvider,
     ServeConfig,
@@ -202,6 +202,9 @@ def engine_metrics_run() -> dict:
             cache_deviation_km=2.0,
             use_index=True,
             index_cell_km=INDEX_CELL_KM,
+            # In-memory monitor (no series file): the sampled time axis
+            # and calibration land in the bench JSON below.
+            monitor=MonitorConfig(cadence=5.0),
         ),
         assign_fn=ppi_assign,
         candidate_assign_fn=ppi_assign_candidates,
@@ -229,6 +232,12 @@ def engine_metrics_run() -> dict:
         "n_shed": result.n_shed,
         "cache_hit_rate": result.cache_hit_rate,
         "candidate_sparsity": result.candidate_sparsity,
+        "monitor": {
+            "n_samples": result.n_monitor_samples,
+            "n_drift_events": result.n_drift_events,
+            "brier": result.calibration["brier"] if result.calibration else None,
+            "ece": result.calibration["ece"] if result.calibration else None,
+        },
         "obs_metrics": serve_metrics,
     }
 

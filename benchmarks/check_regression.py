@@ -1,13 +1,17 @@
 """Guard the benchmarked speedups against performance regressions.
 
-Two baselines are guarded, each behind its own opt-in pytest marker:
+Three baselines are guarded, each behind its own opt-in pytest marker:
 
 * ``fastpath_bench`` — re-runs :mod:`benchmarks.bench_nn_fastpath` and
   compares the measured tape/fused speedup *ratios* against the
   committed ``BENCH_nn_fastpath.json``;
 * ``serve_bench`` — re-runs the ``guard`` shape of
   :mod:`benchmarks.bench_serve` and compares the dense/sparse per-batch
-  assignment speedup against the committed ``BENCH_serve.json``.
+  assignment speedup against the committed ``BENCH_serve.json``;
+* ``monitor_bench`` — re-runs :mod:`benchmarks.bench_monitor_overhead`
+  and fails when the *enabled* online monitor costs more than its
+  absolute overhead bar on the end-to-end serve run (the bench itself
+  asserts monitored/unmonitored plan parity on every measurement).
 
 A ratio that drops by more than ``TOLERANCE`` (20%) fails.  Ratios are
 compared rather than absolute times because both arms slow down
@@ -27,6 +31,7 @@ which only looks under ``tests/``)::
 
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m fastpath_bench
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m serve_bench
+    PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m monitor_bench
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+import bench_monitor_overhead  # noqa: E402
 import bench_serve  # noqa: E402
 from bench_nn_fastpath import OUTPUT, run  # noqa: E402
 
@@ -148,6 +154,34 @@ def check_serve() -> list[str]:
     return failures
 
 
+def check_monitor() -> list[str]:
+    """Re-measure the online monitor's enabled overhead against its bar.
+
+    Unlike the speedup guards this bar is *absolute* (the bench's own
+    ``MAX_OVERHEAD_PCT``), because the quantity guarded is the on/off
+    ratio of the same engine on the same host — already load-stable.
+    Plan parity between the arms is asserted inside the bench.
+    """
+    bar = bench_monitor_overhead.MAX_OVERHEAD_PCT
+    failures: list[str] = []
+    for attempt in range(2):
+        result = bench_monitor_overhead.run()
+        print(
+            f"serve/monitor   enabled overhead {result['overhead_pct']:+6.2f}%"
+            f" (bar {bar:.0f}%), parity ok,"
+            f" {result['n_monitor_samples']} samples"
+        )
+        if result["overhead_pct"] < bar:
+            return []
+        failures = [
+            f"serve/monitor: enabled monitor costs {result['overhead_pct']:.2f}% "
+            f"on the end-to-end run (bar: {bar:.0f}%)"
+        ]
+        if attempt == 0:
+            print("over the bar; re-measuring once to rule out host noise")
+    return failures
+
+
 @pytest.mark.fastpath_bench
 def test_fastpath_no_regression():
     failures = check()
@@ -160,8 +194,14 @@ def test_serve_no_regression():
     assert not failures, "serving-path speedup regressed:\n" + "\n".join(failures)
 
 
+@pytest.mark.monitor_bench
+def test_monitor_no_regression():
+    failures = check_monitor()
+    assert not failures, "monitor overhead regressed:\n" + "\n".join(failures)
+
+
 def main() -> int:
-    failures = check() + check_serve()
+    failures = check() + check_serve() + check_monitor()
     if failures:
         print("REGRESSION:", *failures, sep="\n  ")
         return 1

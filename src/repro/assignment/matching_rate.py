@@ -91,3 +91,38 @@ def completion_probability(b_size: int, mr: float) -> float:
     if not 0.0 <= mr <= 1.0:
         raise ValueError("MR must lie in [0, 1]")
     return 1.0 - (1.0 - mr) ** b_size
+
+
+def pair_completion_probability(snapshot, task, current_time: float, a: float = 0.3) -> float:
+    """The completion probability the platform believes for one pair.
+
+    The outcome hook behind online calibration monitoring
+    (:mod:`repro.obs.calibration`): given the worker snapshot the
+    assignment actually saw and the task it proposed, reconstruct the
+    Theorem 2 score — ``1 - (1 - MR)^|B|`` over the feasible predicted
+    points within the ``min(d/2, d^t)`` radius — so each accept/reject
+    outcome can be scored against what the predictor promised.
+
+    ``snapshot`` needs the :class:`repro.sc.entities.WorkerSnapshot`
+    fields (``predicted_xy``, ``matching_rate``, ``detour_budget_km``,
+    ``speed_km_per_min``); ``task`` needs ``location`` and ``deadline``.
+    Returns 0 for pairs with no feasible point (stage-3 proximity
+    assignments carry no Theorem 2 mass).
+    """
+    pred = snapshot.predicted_xy
+    if len(pred) == 0:
+        return 0.0
+    # Inlined theorem2_bound / feasible_prediction_points: this runs per
+    # proposed pair inside the serving loop, so skip re-validation and
+    # compare squared distances (dis + a <= bound  <=>  dis^2 <= (bound-a)^2).
+    bound = min(
+        snapshot.detour_budget_km / 2.0,
+        snapshot.speed_km_per_min * (task.deadline - current_time),
+    )
+    radius = bound - a
+    if bound <= 0 or radius < 0:
+        return 0.0
+    dx = pred[:, 0] - task.location.x
+    dy = pred[:, 1] - task.location.y
+    b_size = int(np.count_nonzero(dx * dx + dy * dy <= radius * radius))
+    return 1.0 - (1.0 - snapshot.matching_rate) ** b_size

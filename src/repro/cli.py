@@ -9,12 +9,19 @@ Examples::
     python -m repro.cli compare --workload porto-didi --json
     python -m repro.cli serve-sim --n-workers 2000 --n-tasks 1000 --use-index \
         --trigger adaptive --pending-threshold 50 --cache-ttl 6
+    python -m repro.cli serve-sim --monitor run.series.jsonl \
+        --monitor-cadence 4 --openmetrics run.om
+    python -m repro.cli serve-report run.series.jsonl
 
 The CLI drives the same pipeline as the benches, at whatever scale the
 flags request.  ``--trace PATH`` records the run as a JSONL span trace
 plus a run manifest (config, seed, git SHA, final metrics) next to it;
-``trace-report`` renders the per-stage breakdown.  ``--json`` switches
-every subcommand's stdout to one machine-readable JSON document.
+``trace-report`` renders the per-stage breakdown.  ``serve-sim
+--monitor PATH`` samples the engine's metrics on a cadence into a JSONL
+time series (optionally exposing OpenMetrics via ``--openmetrics`` /
+``--monitor-port``) and ``serve-report`` renders it as a per-phase
+dashboard.  ``--json`` switches every subcommand's stdout to one
+machine-readable JSON document.
 """
 
 from __future__ import annotations
@@ -117,8 +124,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--index-cell", type=float, default=1.0, help="grid cell size (km)")
     serve.add_argument("--max-candidates", type=int, default=None,
                        help="keep only the k nearest candidate workers per task")
+    serve.add_argument("--monitor", metavar="PATH", default=None,
+                       help="sample engine metrics on a cadence into a JSONL time series")
+    serve.add_argument("--monitor-cadence", type=float, default=2.0,
+                       help="sampling period in simulated minutes (with --monitor)")
+    serve.add_argument("--openmetrics", metavar="PATH", default=None,
+                       help="refresh an OpenMetrics exposition file on every sample")
+    serve.add_argument("--monitor-port", type=int, default=None,
+                       help="serve the exposition at http://localhost:PORT/metrics (0 = ephemeral)")
+    serve.add_argument("--drift-detector", choices=("page_hinkley", "ewma"),
+                       default="page_hinkley",
+                       help="calibration drift detector (with --monitor)")
+    serve.add_argument("--no-calibration", action="store_true",
+                       help="disable calibration tracking in the monitor")
     serve.add_argument("--seed", type=int, default=1)
     add_output_flags(serve)
+
+    serve_report = sub.add_parser(
+        "serve-report",
+        help="render a monitor time series as a per-phase dashboard",
+    )
+    serve_report.add_argument("series_file", help="JSONL series written by serve-sim --monitor")
+    serve_report.add_argument("--phases", type=int, default=3,
+                              help="number of contiguous phases to aggregate into")
+    serve_report.add_argument("--json", action="store_true",
+                              help="emit the aggregates as JSON")
 
     return parser
 
@@ -272,6 +302,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _monitor_config(args: argparse.Namespace):
+    """Build the serve-sim MonitorConfig, or None when no flag asks for one."""
+    from repro.obs import CalibrationConfig, MonitorConfig
+
+    if args.monitor is None and args.openmetrics is None and args.monitor_port is None:
+        return None
+    calibration = (
+        None if args.no_calibration else CalibrationConfig(detector=args.drift_detector)
+    )
+    return MonitorConfig(
+        cadence=args.monitor_cadence,
+        series_path=args.monitor,
+        openmetrics_path=args.openmetrics,
+        http_port=args.monitor_port,
+        calibration=calibration,
+    )
+
+
 def cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.assignment.baselines import km_assign, km_assign_candidates
     from repro.assignment.ppi import ppi_assign, ppi_assign_candidates
@@ -314,6 +362,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             use_index=args.use_index,
             index_cell_km=args.index_cell,
             max_candidates=args.max_candidates,
+            monitor=_monitor_config(args),
         )
         engine = ServeEngine(
             workers,
@@ -338,6 +387,17 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             candidate_sparsity=result.candidate_sparsity,
             cache_hit_rate=result.cache_hit_rate,
         )
+        if config.monitor is not None:
+            rows.update(
+                n_monitor_samples=float(result.n_monitor_samples),
+                n_drift_events=float(result.n_drift_events),
+            )
+            if result.calibration is not None:
+                rows.update(brier=result.calibration["brier"], ece=result.calibration["ece"])
+            if args.monitor:
+                reporter.line(f"[series: {args.monitor}]")
+            if args.openmetrics:
+                reporter.line(f"[openmetrics: {args.openmetrics}]")
         reporter.table("metrics", rows, fmt="  {name:<20} {value:.4f}")
         return rows
 
@@ -371,11 +431,28 @@ def cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_report(args: argparse.Namespace) -> int:
+    from repro.obs import aggregate_series, read_series, render_serve_report
+
+    records = read_series(args.series_file)
+    if args.json:
+        payload = {"series": args.series_file, **aggregate_series(records, args.phases)}
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            render_serve_report(
+                records, title=f"serve report: {args.series_file}", n_phases=args.phases
+            )
+        )
+    return 0
+
+
 COMMANDS = {
     "predict": cmd_predict,
     "assign": cmd_assign,
     "compare": cmd_compare,
     "serve-sim": cmd_serve_sim,
+    "serve-report": cmd_serve_report,
     "trace-report": cmd_trace_report,
 }
 

@@ -20,12 +20,28 @@ activates tracing.  Typical use::
             ...
 """
 
+from repro.obs.calibration import (
+    CalibrationConfig,
+    CalibrationMonitor,
+    EwmaDetector,
+    PageHinkley,
+    PairOutcome,
+)
+from repro.obs.dashboard import aggregate_series, load_serve_report, render_serve_report
 from repro.obs.format import Reporter
 from repro.obs.manifest import RunManifest, git_sha, manifest_path_for, read_manifest
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile
+from repro.obs.monitor import MetricsMonitor, MonitorConfig, read_series
+from repro.obs.openmetrics import (
+    ExpositionServer,
+    metric_name,
+    render_openmetrics,
+    write_openmetrics,
+)
 from repro.obs.recorder import (
     NOOP,
     NULL_SPAN,
+    MetricsRecorder,
     NoopRecorder,
     Span,
     TraceRecorder,
@@ -39,9 +55,17 @@ from repro.obs.recorder import (
     span,
 )
 from repro.obs.report import TraceReport, aggregate, load_report, render_report
-from repro.obs.sinks import JsonlSink, MemorySink, read_trace
+from repro.obs.sinks import JsonlSink, MemorySink, read_jsonl, read_trace
 
 __all__ = [
+    "CalibrationConfig",
+    "CalibrationMonitor",
+    "EwmaDetector",
+    "PageHinkley",
+    "PairOutcome",
+    "aggregate_series",
+    "load_serve_report",
+    "render_serve_report",
     "Reporter",
     "RunManifest",
     "git_sha",
@@ -52,8 +76,16 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "percentile",
+    "MetricsMonitor",
+    "MonitorConfig",
+    "read_series",
+    "ExpositionServer",
+    "metric_name",
+    "render_openmetrics",
+    "write_openmetrics",
     "NOOP",
     "NULL_SPAN",
+    "MetricsRecorder",
     "NoopRecorder",
     "Span",
     "TraceRecorder",
@@ -71,5 +103,6 @@ __all__ = [
     "render_report",
     "JsonlSink",
     "MemorySink",
+    "read_jsonl",
     "read_trace",
 ]

@@ -1,0 +1,200 @@
+"""Render a monitor time series as a per-phase text dashboard.
+
+Backs ``python -m repro.cli serve-report <series>``: the JSONL time
+series written by :class:`repro.obs.monitor.MetricsMonitor` is split
+into contiguous *phases* (three by default — ramp-up / steady / drain,
+the canonical shape of a bounded streaming run), and every metric is
+aggregated per phase:
+
+* counters: windowed deltas summed per phase (plus a sparkline over
+  every window, so bursts are visible at sample resolution);
+* gauges: per-phase mean of the sampled values plus the final value;
+* histograms: per-phase merged count/mean/max of the window summaries;
+* calibration: reliability bins, Brier/ECE, and drift events, rendered
+  from the series' ``calibration`` and ``drift`` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.monitor import read_series
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """A unicode block sparkline of ``values`` (empty string when flat-empty)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[0] * len(values)
+    span = hi - lo
+    return "".join(_SPARK[min(int((v - lo) / span * len(_SPARK)), len(_SPARK) - 1)] for v in values)
+
+
+@dataclass
+class Phase:
+    """One contiguous stretch of samples."""
+
+    name: str
+    t0: float
+    t1: float
+    samples: list[dict]
+
+    def counter_delta(self, name: str) -> float:
+        return sum(s.get("counter_deltas", {}).get(name, 0.0) for s in self.samples)
+
+    def gauge_mean(self, name: str) -> float | None:
+        values = [s["gauges"][name] for s in self.samples if name in s.get("gauges", {})]
+        return sum(values) / len(values) if values else None
+
+    def histogram_merge(self, name: str) -> dict:
+        """Merge the phase's window summaries (count/sum/max merge exactly)."""
+        count, total, peak = 0, 0.0, None
+        for s in self.samples:
+            w = s.get("histograms", {}).get(name)
+            if not w or not w.get("count"):
+                continue
+            count += w["count"]
+            total += w.get("sum", 0.0)
+            peak = w["max"] if peak is None else max(peak, w["max"])
+        return {"count": count, "sum": total, "mean": total / count if count else 0.0, "max": peak}
+
+
+_PHASE_NAMES = {3: ("ramp-up", "steady", "drain")}
+
+
+def split_phases(samples: list[dict], n_phases: int = 3) -> list[Phase]:
+    """Split the sample sequence into ``n_phases`` contiguous stretches."""
+    if not samples:
+        return []
+    n_phases = max(1, min(n_phases, len(samples)))
+    names = _PHASE_NAMES.get(n_phases) or tuple(f"phase {i + 1}" for i in range(n_phases))
+    per = len(samples) / n_phases
+    phases = []
+    for i in range(n_phases):
+        chunk = samples[int(round(i * per)):int(round((i + 1) * per))]
+        if not chunk:
+            continue
+        t0 = chunk[0]["t"] - chunk[0].get("window", 0.0)
+        phases.append(Phase(name=names[i], t0=t0, t1=chunk[-1]["t"], samples=chunk))
+    return phases
+
+
+def aggregate_series(records: list[dict], n_phases: int = 3) -> dict:
+    """The JSON-ready aggregate view of one series (``--json`` payload)."""
+    samples = [r for r in records if r.get("type") == "sample"]
+    drift = [r for r in records if r.get("type") == "drift"]
+    calibration = next((r for r in records if r.get("type") == "calibration"), None)
+    start = next((r for r in records if r.get("type") == "monitor_start"), None)
+    phases = split_phases(samples, n_phases)
+    counters = sorted(samples[-1].get("counters", {})) if samples else []
+    gauges = sorted(samples[-1].get("gauges", {})) if samples else []
+    histograms = sorted({n for s in samples for n in s.get("histograms", {})})
+    return {
+        "n_samples": len(samples),
+        "t_span": [samples[0]["t"] - samples[0].get("window", 0.0), samples[-1]["t"]]
+        if samples else None,
+        "cadence": start.get("cadence") if start else None,
+        "clock": start.get("clock") if start else None,
+        "phases": [
+            {
+                "name": p.name,
+                "t0": p.t0,
+                "t1": p.t1,
+                "counters": {n: p.counter_delta(n) for n in counters},
+                "gauges": {n: p.gauge_mean(n) for n in gauges},
+                "histograms": {n: p.histogram_merge(n) for n in histograms},
+            }
+            for p in phases
+        ],
+        "totals": dict(samples[-1].get("counters", {})) if samples else {},
+        "final_gauges": dict(samples[-1].get("gauges", {})) if samples else {},
+        "drift_events": drift,
+        "calibration": {k: v for k, v in calibration.items() if k not in ("type", "wall_unix")}
+        if calibration else None,
+    }
+
+
+def render_serve_report(records: list[dict], title: str = "serve report",
+                        n_phases: int = 3) -> str:
+    """The human-readable per-phase dashboard."""
+    lines = [title, "=" * len(title), ""]
+    samples = [r for r in records if r.get("type") == "sample"]
+    if not samples:
+        lines.append("no samples in series (monitor never fired — cadence longer than the run?)")
+        return "\n".join(lines)
+    agg = aggregate_series(records, n_phases)
+    t0, t1 = agg["t_span"]
+    cadence = agg["cadence"]
+    lines.append(
+        f"samples: {agg['n_samples']}    span: {t0:g} → {t1:g}"
+        + (f"    cadence: {cadence:g} ({agg['clock']})" if cadence else "")
+    )
+    phases = agg["phases"]
+    header = f"{'':<34}" + "".join(f"{p['name']:>12}" for p in phases) + f"{'total':>12}"
+    span_row = f"{'(span)':<34}" + "".join(
+        "{:>12}".format("{:g}–{:g}".format(p["t0"], p["t1"])) for p in phases
+    )
+
+    if agg["totals"]:
+        lines += ["", "counters (windowed deltas per phase)", "-" * len(header), header, span_row]
+        for name in sorted(agg["totals"]):
+            cells = "".join(f"{p['counters'].get(name, 0.0):>12g}" for p in phases)
+            lines.append(f"{name:<34}{cells}{agg['totals'][name]:>12g}")
+            spark = sparkline([s.get("counter_deltas", {}).get(name, 0.0) for s in samples])
+            lines.append(f"{'':<34}  {spark}")
+
+    if agg["final_gauges"]:
+        lines += ["", "gauges (phase mean, final value)", "-" * len(header), header]
+        for name in sorted(agg["final_gauges"]):
+            cells = ""
+            for p in phases:
+                mean = p["gauges"].get(name)
+                cells += f"{mean:>12.3g}" if mean is not None else f"{'-':>12}"
+            lines.append(f"{name:<34}{cells}{agg['final_gauges'][name]:>12g}")
+
+    hist_names = sorted({n for p in phases for n in p["histograms"]})
+    shown = [
+        n for n in hist_names if any(p["histograms"][n]["count"] for p in phases)
+    ]
+    if shown:
+        lines += ["", "histograms (per-phase count | mean)", "-" * len(header), header]
+        for name in shown:
+            cells = ""
+            for p in phases:
+                h = p["histograms"][name]
+                cells += f"{h['count']:>5d}|{h['mean']:<6.3g}" if h["count"] else f"{'-':>12}"
+            lines.append(f"{name:<34}{cells}")
+
+    cal = agg["calibration"]
+    if cal:
+        lines += ["", "calibration", "-----------"]
+        lines.append(
+            f"samples: {cal['n_samples']}    brier: {cal['brier']:.4f}    "
+            f"ece: {cal['ece']:.4f}    drift events: {cal['n_drift_events']}"
+        )
+        bins = [b for b in cal.get("bins", []) if b["n"]]
+        if bins:
+            lines.append(f"{'bin':<14} {'n':>6} {'predicted':>10} {'observed':>10}")
+            for b in bins:
+                lines.append(
+                    f"{b['lo']:.2f}–{b['hi']:.2f}    {b['n']:>6d} "
+                    f"{b['mean_predicted']:>10.3f} {b['frac_accepted']:>10.3f}"
+                )
+        for event in cal.get("drift_events", []):
+            lines.append(
+                f"drift at t={event['t']:g} ({event['detector']}, "
+                f"statistic {event['statistic']:.3f}, n={event['n_samples']})"
+            )
+    return "\n".join(lines)
+
+
+def load_serve_report(path: str | Path, title: str | None = None, n_phases: int = 3) -> str:
+    records = read_series(path)
+    return render_serve_report(
+        records, title=title or f"serve report: {path}", n_phases=n_phases
+    )

@@ -96,8 +96,22 @@ class RunManifest:
 
 
 def read_manifest(path: str | Path) -> RunManifest:
-    """Load a manifest written by :meth:`RunManifest.write`."""
-    data = json.loads(Path(path).read_text())
+    """Load a manifest written by :meth:`RunManifest.write`.
+
+    A manifest is one JSON document, so unlike the JSONL readers there
+    is nothing to salvage from a file truncated mid-write; the failure
+    is turned into a :class:`ValueError` naming the file instead of an
+    opaque decode traceback.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"manifest at {path} is truncated or corrupt (run killed mid-write?): {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"manifest at {path} is not a JSON object")
     known = {f for f in RunManifest.__dataclass_fields__}
     return RunManifest(**{k: v for k, v in data.items() if k in known})
 

@@ -10,6 +10,7 @@ scales a single experiment run produces (thousands of observations).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -64,7 +65,12 @@ class Histogram:
     values: list[float] = field(default_factory=list)
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        if not math.isfinite(value):
+            # A NaN would silently poison every percentile computed from
+            # this histogram; fail at the observation site instead.
+            raise ValueError(f"histogram observation must be finite, got {value}")
+        self.values.append(value)
 
     @property
     def count(self) -> int:
@@ -72,18 +78,30 @@ class Histogram:
 
     def summary(self) -> dict[str, float]:
         """count/sum/mean/min/max/p50/p90/p99 of what was observed."""
-        if not self.values:
+        return self.window_summary(0)
+
+    def window_summary(self, start: int) -> dict[str, float]:
+        """:meth:`summary` restricted to observations from index ``start``.
+
+        The monitor's rolling windows are cursors into the observation
+        list: summarising ``values[start:]`` gives "what happened since
+        the last sample" without copying or resetting the histogram.
+        """
+        if start < 0:
+            raise ValueError("window start must be non-negative")
+        window = self.values[start:] if start else self.values
+        if not window:
             return {"count": 0}
-        total = float(sum(self.values))
+        total = float(sum(window))
         return {
-            "count": len(self.values),
+            "count": len(window),
             "sum": total,
-            "mean": total / len(self.values),
-            "min": float(min(self.values)),
-            "max": float(max(self.values)),
-            "p50": percentile(self.values, 50.0),
-            "p90": percentile(self.values, 90.0),
-            "p99": percentile(self.values, 99.0),
+            "mean": total / len(window),
+            "min": float(min(window)),
+            "max": float(max(window)),
+            "p50": percentile(window, 50.0),
+            "p90": percentile(window, 90.0),
+            "p99": percentile(window, 99.0),
         }
 
 

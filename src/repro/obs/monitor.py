@@ -1,0 +1,235 @@
+"""Online monitoring: periodic metric snapshots for a live run.
+
+``repro.obs`` so far captured *end-of-run* state: one metrics snapshot
+flushed when the recorder finishes, spans read back post hoc.  A
+streaming engine (:mod:`repro.serve`) runs continuously, so operators
+need the time axis: queue pressure over the run, batch latency as the
+stream loads up, whether the predictor's completion probabilities are
+still calibrated (see :mod:`repro.obs.calibration`).
+
+:class:`MetricsMonitor` samples a :class:`~repro.obs.metrics.MetricsRegistry`
+on a configurable cadence — simulated event time or wall clock — into
+an append-only JSONL **time series**.  Each sample carries:
+
+* cumulative counter values plus **windowed deltas** (what happened
+  since the previous sample — the rate signal);
+* current gauge values;
+* **rolling histogram summaries** over the observations that arrived
+  in the window (cursors into the histogram, no copying/resetting).
+
+Each sample optionally refreshes an OpenMetrics exposition target
+(file and/or stdlib HTTP endpoint, :mod:`repro.obs.openmetrics`) so
+external scrapers can watch the run live.  A calibration monitor, when
+configured, streams its drift events into the same series file and
+appends a final ``calibration`` record at close.
+
+Everything here is opt-in: the serving engine only instantiates a
+monitor when :class:`MonitorConfig` is present on its config, and the
+no-op default path is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO
+
+from repro.obs.calibration import CalibrationConfig, CalibrationMonitor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import ExpositionServer, render_openmetrics, write_openmetrics
+from repro.obs.sinks import read_jsonl
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tunables of the online monitor.
+
+    Attributes
+    ----------
+    cadence:
+        Sampling period: simulated minutes when ``clock="event"``,
+        seconds when ``clock="wall"``.
+    clock:
+        ``"event"`` samples on the run's own time axis (deterministic,
+        the default for simulated streams); ``"wall"`` samples on
+        ``time.monotonic()`` (for live deployments).
+    series_path:
+        JSONL time-series target (``None`` keeps samples in memory
+        only — tests and in-process dashboards).
+    openmetrics_path:
+        When set, every sample atomically rewrites this OpenMetrics
+        exposition file.
+    http_port:
+        When set (0 = ephemeral), an :class:`ExpositionServer` serves
+        the latest exposition at ``/metrics`` for the monitor's
+        lifetime.
+    prefix:
+        OpenMetrics namespace prefix.
+    calibration:
+        Calibration-monitor knobs; ``None`` disables calibration
+        tracking entirely.
+    """
+
+    cadence: float = 2.0
+    clock: str = "event"
+    series_path: str | None = None
+    openmetrics_path: str | None = None
+    http_port: int | None = None
+    prefix: str = "repro"
+    calibration: CalibrationConfig | None = field(default_factory=CalibrationConfig)
+
+    def __post_init__(self) -> None:
+        if self.cadence <= 0:
+            raise ValueError("monitor cadence must be positive")
+        if self.clock not in ("event", "wall"):
+            raise ValueError("monitor clock must be 'event' or 'wall'")
+
+
+class MetricsMonitor:
+    """Samples a metrics registry on a cadence into a JSONL time series.
+
+    Drive it with :meth:`start` once, :meth:`advance` on every event
+    (cheap: one float comparison until a sample boundary is crossed),
+    and :meth:`finish` at the end of the run.  Samples accumulate in
+    :attr:`samples` and stream to ``config.series_path`` when set.
+    """
+
+    def __init__(self, config: MonitorConfig, registry: MetricsRegistry) -> None:
+        self.config = config
+        self.registry = registry
+        self.samples: list[dict] = []
+        self.calibration = (
+            CalibrationMonitor(config.calibration) if config.calibration is not None else None
+        )
+        self.server: ExpositionServer | None = None
+        self._fh: IO[str] | None = None
+        self._seq = 0
+        self._last_t: float | None = None
+        self._next_sample = 0.0
+        self._last_counters: dict[str, float] = {}
+        self._hist_cursors: dict[str, int] = {}
+        self._finished = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, t: float | None = None) -> None:
+        """Open sinks and anchor the sampling clock at ``t``."""
+        if self.config.series_path is not None:
+            path = Path(self.config.series_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = path.open("w")
+        if self.config.http_port is not None:
+            self.server = ExpositionServer(port=self.config.http_port)
+        t0 = self._now(t)
+        self._last_t = t0
+        self._next_sample = t0 + self.config.cadence
+        self._write({"type": "monitor_start", "t": t0, "wall_unix": time.time(),
+                     "cadence": self.config.cadence, "clock": self.config.clock})
+
+    def advance(self, t: float | None = None) -> None:
+        """Clock tick: emit samples for every cadence boundary crossed.
+
+        With the event clock, an idle stretch longer than one cadence
+        emits one sample per boundary (so the series has a row for
+        every window, even empty ones); the registry state is the same
+        for each, only the window bounds differ.
+        """
+        now = self._now(t)
+        while not self._finished and now >= self._next_sample - 1e-9:
+            self._sample(at=self._next_sample)
+            self._next_sample += self.config.cadence
+
+    def observe_outcome(self, predicted: float, accepted: bool, t: float) -> None:
+        """Feed one assignment outcome to the calibration monitor.
+
+        Drift events stream into the series file as they fire.
+        """
+        if self.calibration is None:
+            return
+        event = self.calibration.observe(predicted, accepted, t)
+        if event is not None:
+            self.registry.counter("serve.calibration.drift").add(1.0)
+            self._write(dict(event, wall_unix=time.time()))
+
+    def finish(self, t: float | None = None) -> None:
+        """Final sample, calibration summary, and sink close."""
+        if self._finished:
+            return
+        self._sample(at=self._now(t), final=True)
+        if self.calibration is not None:
+            self._write({"type": "calibration", "wall_unix": time.time(),
+                         **self.calibration.summary()})
+        self._finished = True
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self.server is not None:
+            self.server.close()
+            self.server = None
+
+    # -- internals -----------------------------------------------------
+    def _now(self, t: float | None) -> float:
+        if self.config.clock == "wall":
+            return time.monotonic()
+        if t is None:
+            raise ValueError("event-clock monitor needs an explicit time")
+        return t
+
+    def _sample(self, at: float, final: bool = False) -> None:
+        snapshot = self.registry.snapshot()
+        counters = snapshot["counters"]
+        deltas = {
+            name: value - self._last_counters.get(name, 0.0)
+            for name, value in counters.items()
+        }
+        windows: dict[str, dict] = {}
+        for name, hist in sorted(self.registry.histograms.items()):
+            cursor = self._hist_cursors.get(name, 0)
+            windows[name] = hist.window_summary(cursor)
+            self._hist_cursors[name] = len(hist.values)
+        last_t = self._last_t if self._last_t is not None else at
+        record = {
+            "type": "sample",
+            "seq": self._seq,
+            "t": at,
+            "wall_unix": time.time(),
+            "window": at - last_t,
+            "counters": counters,
+            "counter_deltas": deltas,
+            "gauges": snapshot["gauges"],
+            "histograms": windows,
+        }
+        if final:
+            record["final"] = True
+        if self.calibration is not None and self.calibration.n:
+            record["calibration"] = {
+                "n_samples": self.calibration.n,
+                "brier": self.calibration.brier,
+                "ece": self.calibration.expected_calibration_error,
+                "n_drift_events": len(self.calibration.drift_events),
+            }
+        self._seq += 1
+        self._last_t = at
+        self._last_counters = dict(counters)
+        self.samples.append(record)
+        self._write(record)
+        if self.config.openmetrics_path is not None:
+            write_openmetrics(self.config.openmetrics_path, snapshot, prefix=self.config.prefix)
+        if self.server is not None:
+            self.server.publish(render_openmetrics(snapshot, prefix=self.config.prefix))
+
+    def _write(self, record: dict) -> None:
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, default=str) + "\n")
+            self._fh.flush()
+
+
+def read_series(path: str | Path) -> list[dict]:
+    """Load a monitor time series, skipping corrupt trailing lines.
+
+    Same tolerance as :func:`repro.obs.sinks.read_jsonl`: a run killed
+    mid-write leaves a truncated last line, which is skipped with a
+    warning instead of losing the whole series.
+    """
+    return read_jsonl(path)

@@ -71,6 +71,33 @@ class NoopRecorder:
 NOOP = NoopRecorder()
 
 
+class MetricsRecorder:
+    """A metrics-only recorder: a live registry, no span tracing.
+
+    The streaming monitor needs counters/gauges/histograms to sample
+    even when nobody asked for a span trace; installing this instead of
+    a full :class:`TraceRecorder` keeps spans free (the shared
+    ``NULL_SPAN``) while metric updates land in :attr:`metrics`.
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def span(self, name: str, **attrs) -> NullSpan:
+        return NULL_SPAN
+
+    def counter(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.counter(name).add(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def histogram(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+
 class Span:
     """One nested wall-time measurement; use as a context manager.
 

@@ -10,6 +10,7 @@ a list for tests and in-process analysis.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import IO
 
@@ -68,12 +69,36 @@ def _jsonable(value):
     return str(value)
 
 
-def read_trace(path: str | Path) -> list[dict]:
-    """Load every record of a JSONL trace file."""
+def read_jsonl(path: str | Path, strict: bool = False) -> list[dict]:
+    """Load every parseable record of a JSONL file.
+
+    A run killed mid-write (OOM, SIGKILL, power loss) leaves a
+    truncated final line; by default such unparseable lines are skipped
+    with a :class:`UserWarning` naming the file and line number, so the
+    surviving records stay readable.  ``strict=True`` restores the
+    raise-on-first-error behaviour for callers that must not tolerate a
+    damaged file.
+    """
+    path = Path(path)
     records = []
-    with Path(path).open() as fh:
-        for line in fh:
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                warnings.warn(
+                    f"{path}:{lineno}: skipping truncated/corrupt JSONL line "
+                    "(run killed mid-write?)",
+                    stacklevel=2,
+                )
     return records
+
+
+def read_trace(path: str | Path, strict: bool = False) -> list[dict]:
+    """Load every record of a JSONL trace file (see :func:`read_jsonl`)."""
+    return read_jsonl(path, strict=strict)

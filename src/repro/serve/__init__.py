@@ -6,6 +6,12 @@ and worker check-in/check-out, with pluggable batch triggers, bounded
 pending queues with deadline-aware shedding, a uniform-grid candidate
 index feeding sparse PPI/KM, and a TTL prediction cache with check-in
 deviation invalidation.  See ``docs/SERVING.md``.
+
+Online monitoring is opt-in through ``ServeConfig.monitor``
+(:class:`repro.obs.monitor.MonitorConfig`): periodic metric samples
+into a JSONL time series, OpenMetrics exposition, and calibration
+tracking of predicted completion probabilities — see the streaming
+monitoring section of ``docs/OBSERVABILITY.md``.
 """
 
 from repro.serve.adapters import (

@@ -35,7 +35,10 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro import obs
+from repro.assignment.matching_rate import pair_completion_probability
 from repro.assignment.plan import AssignmentPlan
+from repro.obs.monitor import MetricsMonitor, MonitorConfig
+from repro.obs.recorder import MetricsRecorder
 from repro.sc.acceptance import evaluate_acceptance
 from repro.sc.entities import SpatialTask, Worker, WorkerSnapshot
 from repro.sc.platform import (
@@ -98,6 +101,12 @@ class ServeConfig:
     index_cell_km / max_candidates:
         Grid-bucket size and optional per-task k-nearest cap of the
         candidate index.
+    monitor:
+        Online-monitoring knobs (:class:`repro.obs.monitor.MonitorConfig`):
+        periodic metric samples, OpenMetrics exposition, and prediction
+        calibration tracking.  ``None`` (the default) keeps the run
+        monitor-free; when set but no recorder is active, the engine
+        installs a metrics-only recorder for the duration of the run.
     """
 
     batch_window: float = 2.0
@@ -112,6 +121,7 @@ class ServeConfig:
     use_index: bool = False
     index_cell_km: float = 1.0
     max_candidates: int | None = None
+    monitor: MonitorConfig | None = None
 
     def __post_init__(self) -> None:
         if self.batch_window <= 0:
@@ -152,6 +162,12 @@ class ServeResult(SimulationResult):
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    #: Monitor-only accounting (zero / None when ``config.monitor`` is
+    #: unset); deliberately outside ``result_signature`` so monitoring
+    #: never perturbs parity checks.
+    n_monitor_samples: int = 0
+    n_drift_events: int = 0
+    calibration: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -237,6 +253,21 @@ class ServeEngine:
         result = ServeResult(
             n_tasks=len(tasks), n_completed=0, n_assignments=0, n_rejections=0, n_expired=0
         )
+        # Online monitoring is strictly opt-in: with cfg.monitor unset
+        # none of this allocates, and the per-event cost below is one
+        # `watch` boolean test.  When a monitor is requested but no
+        # recorder is active, a metrics-only recorder is installed for
+        # the duration of the run (spans stay free) and restored after.
+        monitor: MetricsMonitor | None = None
+        restore_to = None
+        if cfg.monitor is not None:
+            if getattr(obs.get_recorder(), "metrics", None) is None:
+                restore_to = obs.set_recorder(MetricsRecorder())
+            monitor = MetricsMonitor(cfg.monitor, obs.get_recorder().metrics)
+            monitor.start(t_start)
+        watch = obs.enabled()
+        calibrate = monitor is not None and monitor.calibration is not None
+        arrival_at: dict[int, float] = {}
         pending: dict[int, SpatialTask] = {}
         busy_until: dict[int, float] = {}
         online: dict[int, Worker] = {}
@@ -303,6 +334,9 @@ class ServeEngine:
                     started = time.perf_counter()
                     snapshots = [cache.get(w, t) for w in available]
                     result.prediction_seconds += time.perf_counter() - started
+                served = cache.stats.hits + cache.stats.misses
+                if served:
+                    obs.gauge("serve.cache.hit_rate", cache.stats.hits / served)
                 result.n_dense_pairs += len(batch_tasks) * len(available)
                 with obs.span("serve.assign", tasks=len(batch_tasks)):
                     started = time.perf_counter()
@@ -314,7 +348,9 @@ class ServeEngine:
                             cell_km=cfg.index_cell_km,
                             max_candidates=cfg.max_candidates,
                         )
-                        result.n_candidate_pairs += sum(len(v) for v in candidates.values())
+                        batch_candidates = sum(len(v) for v in candidates.values())
+                        result.n_candidate_pairs += batch_candidates
+                        obs.histogram("serve.index.candidates", batch_candidates)
                         plan = self.candidate_assign_fn(batch_tasks, snapshots, t, candidates)
                     else:
                         result.n_candidate_pairs += len(batch_tasks) * len(available)
@@ -322,6 +358,9 @@ class ServeEngine:
                     result.algorithm_seconds += time.perf_counter() - started
                 validate_plan(plan, pending, worker_by_id)
 
+                snap_by_worker = (
+                    {s.worker_id: s for s in snapshots} if calibrate else None
+                )
                 n_accepted = 0
                 n_rejected = 0
                 for pair in plan:
@@ -331,11 +370,23 @@ class ServeEngine:
                     result.n_assignments += 1
                     if outcome_listener is not None:
                         outcome_listener(task.task_id, worker.worker_id, decision.accepted, t)
+                    if calibrate:
+                        believed = pair_completion_probability(
+                            snap_by_worker[pair.worker_id],
+                            task,
+                            t,
+                            a=cfg.monitor.calibration.a_km,
+                        )
+                        monitor.observe_outcome(believed, decision.accepted, t)
                     if decision.accepted:
                         n_accepted += 1
                         result.n_completed += 1
                         result.completed_task_ids.add(task.task_id)
                         result.detours_km.append(decision.detour_km)
+                        if watch and task.task_id in arrival_at:
+                            obs.histogram(
+                                "serve.task.time_to_assign", t - arrival_at.pop(task.task_id)
+                            )
                         del pending[task.task_id]
                         # Same busy model as BatchPlatform: off-route for
                         # the detour distance at the worker's speed, plus
@@ -365,60 +416,87 @@ class ServeEngine:
                     result.n_early_batches += 1
                     obs.counter("serve.batches.early")
 
-        while queue and queue.peek_time() <= horizon_end:
-            event = queue.pop()
-            if isinstance(event, TaskArrival):
-                task = event.task
-                # Dead on arrival: a task released before the horizon whose
-                # deadline or cancellation window already passed.
-                # BatchPlatform releases and expires these in the same
-                # tick, never attempting assignment.
-                if task.deadline < event.time or (
-                    cfg.assignment_window is not None
-                    and event.time > task.release_time + cfg.assignment_window
-                ):
-                    result.n_expired += 1
-                    obs.counter("serve.expired")
-                    continue
-                if cfg.max_pending is not None and len(pending) >= cfg.max_pending:
-                    victim = shed_for(task)
-                    if victim.task_id != task.task_id:
-                        del pending[victim.task_id]
-                        pending[task.task_id] = task
-                    result.n_shed += 1
-                    obs.counter("serve.shed.tasks")
-                else:
-                    pending[task.task_id] = task
-                if trigger.should_fire_early(event.time, last_batch, pending):
-                    tick_generation += 1
-                    queue.push(BatchTick(time=event.time, generation=tick_generation))
-            elif isinstance(event, BatchTick):
-                if event.generation != tick_generation:
-                    continue  # superseded by an early fire
-                early = event.time - last_batch < cfg.batch_window - 1e-9
-                run_batch(event.time, early=early)
-                tick_generation += 1
-                queue.push(
-                    BatchTick(time=trigger.next_tick(event.time), generation=tick_generation)
-                )
-            elif isinstance(event, TaskDeadline):
-                if event.task_id in pending:
-                    del pending[event.task_id]
-                    result.n_expired += 1
-                    obs.counter("serve.expired")
-            elif isinstance(event, TaskCancel):
-                if event.task_id in pending:
-                    del pending[event.task_id]
-                    result.n_expired += 1
-                    obs.counter("serve.cancelled")
-            elif isinstance(event, WorkerCheckIn):
-                online[event.worker.worker_id] = event.worker
-            elif isinstance(event, WorkerCheckOut):
-                online.pop(event.worker_id, None)
+        event_started = 0.0
+        try:
+            while queue and queue.peek_time() <= horizon_end:
+                event = queue.pop()
+                if monitor is not None:
+                    monitor.advance(event.time)
+                if watch:
+                    event_started = time.perf_counter()
+                if isinstance(event, TaskArrival):
+                    task = event.task
+                    # Dead on arrival: a task released before the horizon
+                    # whose deadline or cancellation window already passed.
+                    # BatchPlatform releases and expires these in the same
+                    # tick, never attempting assignment.
+                    if task.deadline < event.time or (
+                        cfg.assignment_window is not None
+                        and event.time > task.release_time + cfg.assignment_window
+                    ):
+                        result.n_expired += 1
+                        obs.counter("serve.expired")
+                    else:
+                        if cfg.max_pending is not None and len(pending) >= cfg.max_pending:
+                            victim = shed_for(task)
+                            if victim.task_id != task.task_id:
+                                del pending[victim.task_id]
+                                pending[task.task_id] = task
+                            result.n_shed += 1
+                            obs.counter("serve.shed.tasks")
+                        else:
+                            pending[task.task_id] = task
+                        if watch and task.task_id in pending:
+                            arrival_at[task.task_id] = event.time
+                        if trigger.should_fire_early(event.time, last_batch, pending):
+                            tick_generation += 1
+                            queue.push(BatchTick(time=event.time, generation=tick_generation))
+                elif isinstance(event, BatchTick):
+                    if event.generation == tick_generation:
+                        early = event.time - last_batch < cfg.batch_window - 1e-9
+                        run_batch(event.time, early=early)
+                        tick_generation += 1
+                        queue.push(
+                            BatchTick(
+                                time=trigger.next_tick(event.time), generation=tick_generation
+                            )
+                        )
+                    # else: superseded by an early fire
+                elif isinstance(event, TaskDeadline):
+                    if event.task_id in pending:
+                        del pending[event.task_id]
+                        result.n_expired += 1
+                        obs.counter("serve.expired")
+                elif isinstance(event, TaskCancel):
+                    if event.task_id in pending:
+                        del pending[event.task_id]
+                        result.n_expired += 1
+                        obs.counter("serve.cancelled")
+                elif isinstance(event, WorkerCheckIn):
+                    online[event.worker.worker_id] = event.worker
+                elif isinstance(event, WorkerCheckOut):
+                    online.pop(event.worker_id, None)
+                if watch:
+                    obs.histogram("serve.loop.lag_s", time.perf_counter() - event_started)
+                    obs.gauge("serve.loop.heap_depth", len(queue))
 
-        # Tasks still pending at the horizon's end count as expired.
-        result.n_expired += len(pending)
-        result.cache_hits = cache.stats.hits
-        result.cache_misses = cache.stats.misses
-        result.cache_invalidations = cache.stats.invalidations
-        return result
+            # Tasks still pending at the horizon's end count as expired.
+            result.n_expired += len(pending)
+            result.cache_hits = cache.stats.hits
+            result.cache_misses = cache.stats.misses
+            result.cache_invalidations = cache.stats.invalidations
+            if monitor is not None:
+                monitor.advance(t_end)
+                monitor.finish(t_end)
+                result.n_monitor_samples = len(monitor.samples)
+                if monitor.calibration is not None:
+                    result.calibration = monitor.calibration.summary()
+                    result.n_drift_events = len(monitor.calibration.drift_events)
+            return result
+        finally:
+            # Close monitor sinks (idempotent) and restore the recorder
+            # even when the run unwinds on an exception.
+            if monitor is not None:
+                monitor.finish(t_end)
+            if restore_to is not None:
+                obs.set_recorder(restore_to)
