@@ -1,6 +1,6 @@
 """Guard the benchmarked speedups against performance regressions.
 
-Three baselines are guarded, each behind its own opt-in pytest marker:
+Four baselines are guarded, each behind its own opt-in pytest marker:
 
 * ``fastpath_bench`` — re-runs :mod:`benchmarks.bench_nn_fastpath` and
   compares the measured tape/fused speedup *ratios* against the
@@ -11,7 +11,12 @@ Three baselines are guarded, each behind its own opt-in pytest marker:
 * ``monitor_bench`` — re-runs :mod:`benchmarks.bench_monitor_overhead`
   and fails when the *enabled* online monitor costs more than its
   absolute overhead bar on the end-to-end serve run (the bench itself
-  asserts monitored/unmonitored plan parity on every measurement).
+  asserts monitored/unmonitored plan parity on every measurement);
+* ``dist_bench`` — re-runs the ``meta_gang`` guard shape of
+  :mod:`benchmarks.bench_dist` and compares the serial/gang-4
+  meta-training speedup against the committed ``BENCH_dist.json``
+  (the bench itself asserts bit-identical tree parameters between the
+  arms before any ratio is reported).
 
 A ratio that drops by more than ``TOLERANCE`` (20%) fails.  Ratios are
 compared rather than absolute times because both arms slow down
@@ -32,6 +37,7 @@ which only looks under ``tests/``)::
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m fastpath_bench
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m serve_bench
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m monitor_bench
+    PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m dist_bench
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+import bench_dist  # noqa: E402
 import bench_monitor_overhead  # noqa: E402
 import bench_serve  # noqa: E402
 from bench_nn_fastpath import OUTPUT, run  # noqa: E402
@@ -182,6 +189,38 @@ def check_monitor() -> list[str]:
     return failures
 
 
+def check_dist() -> list[str]:
+    """Re-measure the dist bench's meta-training gang speedup.
+
+    Only the guard shape is re-run (the shard arm is informational).
+    The bench asserts bit-identical serial/gang parameters on every
+    measurement, so a passing check certifies both exactness and the
+    speedup floor.
+    """
+    if not bench_dist.OUTPUT.exists():
+        raise FileNotFoundError(
+            f"no baseline at {bench_dist.OUTPUT}; run benchmarks/bench_dist.py first"
+        )
+    baseline = json.loads(bench_dist.OUTPUT.read_text())
+    guard = baseline["guard_shape"]
+    base = baseline["shapes"][guard]["speedup"]["meta_training"]
+    floor = base * (1.0 - TOLERANCE)
+    failures: list[str] = []
+    for attempt in range(2):
+        current = bench_dist.run(include_shard=False)
+        cur = current["shapes"][guard]["speedup"]["meta_training"]
+        print(f"dist/{guard:12s} meta-training {cur:5.2f}x (baseline {base:5.2f}x)")
+        if cur >= floor:
+            return []
+        failures = [
+            f"dist/{guard}: meta-training gang speedup {cur:.2f}x fell below "
+            f"{floor:.2f}x (baseline {base:.2f}x - {TOLERANCE:.0%})"
+        ]
+        if attempt == 0:
+            print("below tolerance; re-measuring once to rule out host noise")
+    return failures
+
+
 @pytest.mark.fastpath_bench
 def test_fastpath_no_regression():
     failures = check()
@@ -200,8 +239,14 @@ def test_monitor_no_regression():
     assert not failures, "monitor overhead regressed:\n" + "\n".join(failures)
 
 
+@pytest.mark.dist_bench
+def test_dist_no_regression():
+    failures = check_dist()
+    assert not failures, "dist meta-training speedup regressed:\n" + "\n".join(failures)
+
+
 def main() -> int:
-    failures = check() + check_serve() + check_monitor()
+    failures = check() + check_serve() + check_monitor() + check_dist()
     if failures:
         print("REGRESSION:", *failures, sep="\n  ")
         return 1

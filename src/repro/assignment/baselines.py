@@ -21,14 +21,20 @@ import numpy as np
 from repro.assignment.hungarian import maximum_weight_matching
 from repro.assignment.matching_rate import theorem2_bound
 from repro.assignment.plan import AssignmentPair, AssignmentPlan
+from repro.assignment.ppi import Matcher
 from repro.sc.entities import SpatialTask, WorkerSnapshot
 
 _EPS = 1e-6
 
 
-def _solve(edges: list[tuple[int, int, float]], stage: int = 0) -> AssignmentPlan:
+def _solve(
+    edges: list[tuple[int, int, float]],
+    stage: int = 0,
+    matcher: "Matcher | None" = None,
+) -> AssignmentPlan:
+    solve = matcher if matcher is not None else maximum_weight_matching
     plan = AssignmentPlan()
-    for t_id, w_id, weight in maximum_weight_matching(edges):
+    for t_id, w_id, weight in solve(edges):
         plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=stage))
     return plan
 
@@ -47,13 +53,15 @@ def km_assign_candidates(
     workers: Sequence[WorkerSnapshot],
     current_time: float,
     candidates: "Mapping[int, Sequence[int]] | None",
+    matcher: Matcher | None = None,
 ) -> AssignmentPlan:
     """KM matching restricted to a sparse candidate graph.
 
     ``candidates`` maps ``task_id`` to the worker ids worth considering
     (``None`` means every pair).  Because the dense path already prunes
     pairs beyond the Theorem 2 radius, any candidate graph covering
-    that radius yields the identical matching.
+    that radius yields the identical matching.  ``matcher`` substitutes
+    the solver (see :data:`repro.assignment.ppi.Matcher`).
     """
     worker_by_id = {w.worker_id: w for w in workers}
     edges: list[tuple[int, int, float]] = []
@@ -75,7 +83,7 @@ def km_assign_candidates(
             dis_min = float(np.sqrt(((worker.predicted_xy - tloc) ** 2).sum(axis=1)).min())
             if dis_min <= bound:
                 edges.append((task.task_id, worker.worker_id, 1.0 / (dis_min + _EPS)))
-    return _solve(edges)
+    return _solve(edges, matcher=matcher)
 
 
 def upper_bound_assign(

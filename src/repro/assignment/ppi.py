@@ -20,7 +20,7 @@ Discussion).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -29,6 +29,15 @@ from repro.assignment.hungarian import maximum_weight_matching
 from repro.assignment.matching_rate import feasible_prediction_points, theorem2_bound
 from repro.assignment.plan import AssignmentPair, AssignmentPlan
 from repro.sc.entities import SpatialTask, WorkerSnapshot
+
+#: A max-weight bipartite matcher over ``(left, right, weight)`` edges.
+#: Must reproduce :func:`maximum_weight_matching`'s contract: a matching
+#: of maximum total weight, emitted in ascending left-id order.  The
+#: default is the dense Hungarian solver; :mod:`repro.dist.shard`
+#: substitutes a connected-component decomposition that solves each
+#: component independently (exact whenever the optimum is unique, which
+#: generic float weights make the ordinary case).
+Matcher = Callable[[Sequence[tuple[int, int, float]]], list[tuple[int, int, float]]]
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,6 +102,7 @@ def ppi_assign_candidates(
     current_time: float,
     candidates: CandidateGraph | None,
     config: PPIConfig | None = None,
+    matcher: Matcher | None = None,
 ) -> AssignmentPlan:
     """Run Algorithm 4 over a sparse candidate graph.
 
@@ -100,9 +110,14 @@ def ppi_assign_candidates(
     means every pair, reproducing :func:`ppi_assign`).  When the graph
     contains every pair within the Theorem 2 radius, the plan is
     identical to the dense path's — only the pairs PPI would have
-    discarded anyway are skipped.
+    discarded anyway are skipped.  ``matcher`` substitutes the KM
+    solver for every matching call (see :data:`Matcher`); the stage-2
+    control flow (score ordering, epsilon chunking) stays on this
+    code path regardless, because it is order-sensitive and must run
+    globally.
     """
     cfg = config if config is not None else PPIConfig()
+    solve = matcher if matcher is not None else maximum_weight_matching
     plan = AssignmentPlan()
     if not tasks or not workers:
         return plan
@@ -142,7 +157,7 @@ def ppi_assign_candidates(
                         _Candidate(task_id=task.task_id, worker_id=worker.worker_id, score=score, min_b=min_b)
                     )
 
-        for t_id, w_id, weight in maximum_weight_matching(stage1_edges):
+        for t_id, w_id, weight in solve(stage1_edges):
             plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=1))
             assigned_tasks.add(t_id)
             assigned_workers.add(w_id)
@@ -162,7 +177,7 @@ def ppi_assign_candidates(
             if not chunk:
                 return
             obs.counter("ppi.stage2.chunks")
-            for t_id, w_id, weight in maximum_weight_matching(chunk):
+            for t_id, w_id, weight in solve(chunk):
                 if t_id in assigned_tasks or w_id in assigned_workers:
                     continue
                 plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=2))
@@ -208,7 +223,7 @@ def ppi_assign_candidates(
                 dis_min = float(dists.min())
                 if dis_min <= bound:
                     stage3_edges.append((task.task_id, worker.worker_id, 1.0 / (dis_min + cfg.eps_weight)))
-        for t_id, w_id, weight in maximum_weight_matching(stage3_edges):
+        for t_id, w_id, weight in solve(stage3_edges):
             plan.add(AssignmentPair(task_id=t_id, worker_id=w_id, score=weight, stage=3))
             assigned_tasks.add(t_id)
             assigned_workers.add(w_id)

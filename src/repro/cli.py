@@ -79,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--algorithm", choices=PREDICTION_ALGORITHMS, default="gttaml")
     predict.add_argument("--loss", choices=("mse", "task_oriented"), default="mse")
     predict.add_argument("--iterations", type=int, default=15)
+    predict.add_argument("--backend", choices=("serial", "process"), default="serial",
+                         help="where repro.dist fans out leaf meta-training")
+    predict.add_argument("--dist-workers", type=int, default=1,
+                         help="parallel workers (pool size, or gang width on the serial "
+                              "backend); >1 routes gttaml training through repro.dist")
 
     assign = sub.add_parser("assign", help="simulate one assignment algorithm over a day")
     add_workload_flags(assign)
@@ -124,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--index-cell", type=float, default=1.0, help="grid cell size (km)")
     serve.add_argument("--max-candidates", type=int, default=None,
                        help="keep only the k nearest candidate workers per task")
+    serve.add_argument("--shards", type=int, default=1,
+                       help=">1 serves through the sharded engine (per-stripe candidate "
+                            "builds merged to the identical dense plan)")
+    serve.add_argument("--backend", choices=("serial", "process"), default="serial",
+                       help="where per-shard candidate jobs run (with --shards)")
+    serve.add_argument("--dist-workers", type=int, default=1,
+                       help="process-pool size for per-shard jobs (with --backend process)")
     serve.add_argument("--monitor", metavar="PATH", default=None,
                        help="sample engine metrics on a cadence into a JSONL time series")
     serve.add_argument("--monitor-cadence", type=float, default=2.0,
@@ -164,11 +176,19 @@ def _spec(args: argparse.Namespace) -> WorkloadSpec:
 
 
 def _prediction_config(args: argparse.Namespace, loss: str, algorithm: str) -> PredictionConfig:
+    backend = getattr(args, "backend", "serial")
+    dist_workers = getattr(args, "dist_workers", 1)
+    dist = None
+    if backend != "serial" or dist_workers > 1:
+        from repro.dist import DistConfig
+
+        dist = DistConfig(backend=backend, workers=dist_workers)
     return PredictionConfig(
         algorithm=algorithm,
         loss=loss,
         seed=args.seed,
         maml=MAMLConfig(iterations=args.iterations, meta_batch=4, inner_steps=2),
+        dist=dist,
     )
 
 
@@ -364,20 +384,43 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             max_candidates=args.max_candidates,
             monitor=_monitor_config(args),
         )
-        engine = ServeEngine(
-            workers,
-            DeadReckoningProvider(seed=args.seed),
-            config,
-            assign_fn=assign_fn,
-            candidate_assign_fn=candidate_fn,
-        )
-        result = engine.run(tasks, 0.0, args.horizon)
+        if args.shards > 1:
+            from repro.dist import DistConfig, ShardedEngine, component_candidate_assign
+
+            engine = ShardedEngine(
+                workers,
+                DeadReckoningProvider(seed=args.seed),
+                config,
+                assign_fn=assign_fn,
+                candidate_assign_fn=component_candidate_assign(args.algorithm),
+                dist=DistConfig(
+                    backend=args.backend, workers=args.dist_workers, shards=args.shards
+                ),
+            )
+        else:
+            engine = ServeEngine(
+                workers,
+                DeadReckoningProvider(seed=args.seed),
+                config,
+                assign_fn=assign_fn,
+                candidate_assign_fn=candidate_fn,
+            )
+        try:
+            result = engine.run(tasks, 0.0, args.horizon)
+        finally:
+            if args.shards > 1:
+                engine.close()
         reporter.add("algorithm", args.algorithm)
         reporter.add("trigger", args.trigger)
         reporter.line(
             f"algorithm={args.algorithm} trigger={args.trigger} "
             f"use_index={args.use_index} cache_ttl={args.cache_ttl}"
         )
+        if args.shards > 1:
+            reporter.line(
+                f"shards={args.shards} backend={args.backend} "
+                f"boundary_workers={engine.boundary_workers_total}"
+            )
         rows = result.metrics().as_row()
         rows.update(
             n_expired=float(result.n_expired),

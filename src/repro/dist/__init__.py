@@ -1,0 +1,69 @@
+"""repro.dist — sharded parallel execution for training and serving.
+
+Three arms, one invariant (see ``docs/DISTRIBUTED.md``):
+
+* **parallel meta-training** (:mod:`repro.dist.meta`) — leaf clusters of
+  the GTMC learning-task tree train independently (every leaf starts
+  from the root parameters) and reduce in leaf order, so merged
+  parameters are bit-identical at any worker count;
+* **sharded assignment** (:mod:`repro.dist.shard`) — x-stripe grid
+  shards with a Theorem-2 halo rebuild the dense candidate graph
+  exactly, and connected-component matching reproduces the global KM
+  solves;
+* **sharded serve** (:mod:`repro.dist.serve`) — a ``ServeEngine``
+  subclass that swaps in the sharded candidate build and per-shard
+  routing metrics without touching the event loop.
+
+Everything runs on a :class:`~repro.dist.backend.Backend` — serial by
+default (zero behavior change), or a ``multiprocessing`` pool — and the
+parity tests swap backends and compare outputs exactly.
+"""
+
+from repro.dist.backend import (
+    Backend,
+    DistConfig,
+    ProcessBackend,
+    SerialBackend,
+    available_cpus,
+    resolve_backend,
+)
+from repro.dist.meta import LeafJob, dist_taml_train, run_leaf_job
+from repro.dist.serve import ShardedEngine, component_candidate_assign
+from repro.dist.shard import (
+    ComponentMatcher,
+    ShardCandidateJob,
+    ShardSpec,
+    ShardStats,
+    connected_components,
+    make_shards,
+    run_shard_candidate_job,
+    shard_memberships,
+    sharded_build_candidates,
+    sharded_km_assign,
+    sharded_ppi_assign,
+)
+
+__all__ = [
+    "Backend",
+    "ComponentMatcher",
+    "DistConfig",
+    "LeafJob",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardCandidateJob",
+    "ShardSpec",
+    "ShardStats",
+    "ShardedEngine",
+    "available_cpus",
+    "component_candidate_assign",
+    "connected_components",
+    "dist_taml_train",
+    "make_shards",
+    "resolve_backend",
+    "run_leaf_job",
+    "run_shard_candidate_job",
+    "shard_memberships",
+    "sharded_build_candidates",
+    "sharded_km_assign",
+    "sharded_ppi_assign",
+]

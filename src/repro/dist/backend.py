@@ -1,0 +1,174 @@
+"""Execution backends: where `repro.dist` runs its fanned-out jobs.
+
+A backend is deliberately tiny — one ordered map over picklable
+payloads — because every parity guarantee in this package rests on the
+same invariant: *the work is a pure function of its payload, and the
+reduction consumes results in payload order*.  Under that invariant the
+serial backend and a process pool are interchangeable bit for bit, so
+every dist entry point is tested by swapping backends and comparing
+outputs exactly.
+
+``SerialBackend`` runs jobs inline (the default everywhere: zero new
+processes, zero behavior change for existing entry points).
+``ProcessBackend`` fans jobs across a ``multiprocessing`` pool;
+``Pool.map`` already returns results in submission order, which is the
+ordered-reduction half of the invariant.  Payload purity is the caller's
+half — the job functions in :mod:`repro.dist.meta` and
+:mod:`repro.dist.shard` take explicit seeded RNGs and frozen configs,
+never ambient state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Start methods the process backend accepts.  ``spawn`` re-imports the
+#: code in each worker and therefore requires every payload attribute to
+#: be picklable — the property ``tests/test_picklable.py`` pins down;
+#: ``fork`` (POSIX default) is cheaper to start.
+START_METHODS = ("fork", "spawn", "forkserver")
+
+
+@dataclass(frozen=True, slots=True)
+class DistConfig:
+    """Knobs of the parallel execution layer.
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"`` (inline, the default) or ``"process"``
+        (multiprocessing pool).
+    workers:
+        Degree of parallelism.  On the process backend this is the pool
+        size; on the serial backend it is the *gang width* of the
+        batched meta-training executor (how many leaf clusters adapt in
+        one stacked BPTT pass) — the same knob, because both paths
+        partition work identically and are bit-identical (see
+        ``docs/DISTRIBUTED.md``).
+    shards:
+        Spatial shard count for candidate generation / serving.
+    start_method:
+        ``multiprocessing`` start method for the process backend.
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+    shards: int = 1
+    start_method: str = "fork"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("serial", "process"):
+            raise ValueError("backend must be 'serial' or 'process'")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.start_method not in START_METHODS:
+            raise ValueError(f"start_method must be one of {START_METHODS}")
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """An ordered map over picklable payloads."""
+
+    def map_ordered(self, fn: Callable[[T], R], payloads: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every payload; results in payload order."""
+        ...
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+        ...
+
+
+class SerialBackend:
+    """Run jobs inline, in order.  The reference reduction."""
+
+    workers = 1
+
+    def map_ordered(self, fn: Callable[[T], R], payloads: Sequence[T]) -> list[R]:
+        return [fn(p) for p in payloads]
+
+    def close(self) -> None:  # nothing pooled
+        pass
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ProcessBackend:
+    """Fan jobs across a ``multiprocessing`` pool, results in order.
+
+    The pool is created lazily on first use and reused across calls, so
+    a serving run pays the fork/spawn cost once, not per batch.  Chunk
+    size 1 keeps the payload-to-worker mapping independent of the pool
+    size — irrelevant for correctness (jobs are pure) but it makes
+    latency attribution per job honest.
+    """
+
+    def __init__(self, workers: int, start_method: str = "fork") -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if start_method not in START_METHODS:
+            raise ValueError(f"start_method must be one of {START_METHODS}")
+        self.workers = workers
+        self.start_method = start_method
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    def _ensure_pool(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self.start_method)
+            self._pool = ctx.Pool(processes=self.workers)
+        return self._pool
+
+    def map_ordered(self, fn: Callable[[T], R], payloads: Sequence[T]) -> list[R]:
+        if not payloads:
+            return []
+        if len(payloads) == 1:  # no point shipping a single job out
+            return [fn(payloads[0])]
+        return self._ensure_pool().map(fn, payloads, chunksize=1)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # belt and braces; close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def resolve_backend(config: DistConfig | None) -> Backend:
+    """Build the backend a :class:`DistConfig` asks for.
+
+    ``None`` and the default config both resolve to the serial backend —
+    the zero-surprise path every existing entry point keeps.
+    """
+    if config is None or config.backend == "serial":
+        return SerialBackend()
+    return ProcessBackend(config.workers, config.start_method)
+
+
+def available_cpus() -> int:
+    """Usable CPU count (affinity-aware where the platform exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

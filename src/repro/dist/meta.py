@@ -1,0 +1,338 @@
+"""Parallel TAML meta-training over the learning-task tree.
+
+Algorithm 2's structure is embarrassingly parallel at the leaves: every
+interior node copies its ``theta`` to its children *before* they train,
+so by induction every leaf cluster starts Meta-Training (Algorithm 3)
+from the same root initialisation, independent of its siblings.  The
+interior aggregation afterwards is a pure bottom-up fold.  This module
+exploits exactly that:
+
+1. **fan out** — one job per leaf, each carrying the root ``theta``, the
+   leaf's learning tasks, the frozen :class:`~repro.meta.maml.MAMLConfig`
+   and its *own* RNG (spawned once from the coordinator generator, so
+   the schedule is a function of the leaf index, never of scheduling);
+2. **reduce in leaf order** — results are consumed in ``tree.leaves()``
+   order and the interior fold replays ``taml_train``'s arithmetic
+   verbatim, so merged parameters are bit-identical whatever executed
+   the leaves.
+
+Two executors produce those leaf results:
+
+* the **pool path** (process backend, or serial with ``workers=1``)
+  runs plain :func:`~repro.meta.maml.meta_train` per leaf;
+* the **gang path** (serial backend, ``workers>1``) adapts up to
+  ``workers`` leaves *in lockstep*: each meta-iteration stacks every
+  gang member's sampled meta-batch into one
+  ``(sum of batches, B, T, F)`` fused BPTT pass.  The fused kernels are
+  slice-stable — each worker slice of a stacked pass is bitwise equal
+  to the same slice computed alone (independent same-shape GEMMs per
+  slice) — so gang width changes wall-clock, never results.  Leaves are
+  grouped per iteration by the exact shapes of their drawn support/query
+  windows; a leaf whose shapes match nobody simply runs a width-1 pass,
+  which *is* the per-leaf fused path.
+
+Parity contract (pinned by ``tests/test_dist_meta.py``): for any
+backend and any ``workers``, :func:`dist_taml_train` produces
+bit-identical parameters on every tree node.  Note the dist schedule is
+deliberately *not* the legacy ``taml_train`` schedule — the legacy path
+threads one RNG sequentially through the leaves, which no parallel
+execution can reproduce — so ``dist_taml_train(workers=1)`` is the
+serial reference for the dist family, while ``taml_train`` remains the
+untouched default everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.dist.backend import (
+    Backend,
+    DistConfig,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.meta.learning_task import LearningTask
+from repro.meta.maml import (
+    LossFn,
+    MAMLConfig,
+    _query_windows,
+    meta_train,
+    resolve_fast_path,
+)
+from repro.meta.taml import TAMLConfig
+from repro.meta.task_tree import LearningTaskTree
+from repro.nn import fused
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class LeafJob:
+    """One leaf cluster's meta-training, as a picklable payload.
+
+    Everything a pool worker needs and nothing ambient: the (picklable)
+    model factory, the leaf's tasks, the frozen MAML config, the loss,
+    the starting parameters, and the leaf's own spawned generator.
+    """
+
+    factory: Callable[[], Module]
+    tasks: tuple[LearningTask, ...]
+    config: MAMLConfig
+    loss_fn: LossFn
+    theta: Mapping[str, np.ndarray]
+    rng: np.random.Generator
+
+
+def run_leaf_job(job: LeafJob) -> tuple[dict[str, np.ndarray], list[float]]:
+    """Meta-train one leaf from its payload (the pool worker entry).
+
+    Module-level (not a closure) so every start method can import it.
+    """
+    model = job.factory()
+    model.load_state_dict(dict(job.theta))
+    history = meta_train(model, list(job.tasks), job.config, job.loss_fn, rng=job.rng)
+    return model.state_dict(), history
+
+
+def dist_taml_train(
+    tree: LearningTaskTree,
+    model_factory: Callable[[], Module],
+    loss_fn: LossFn,
+    config: TAMLConfig | None = None,
+    dist: DistConfig | None = None,
+    rng: np.random.Generator | None = None,
+    backend: Backend | None = None,
+) -> float:
+    """Train the tree with parallel leaves; returns the root's loss.
+
+    Drop-in counterpart of :func:`repro.meta.taml.taml_train` with a
+    parallel-friendly RNG schedule (see the module docstring).  Pass an
+    explicit ``backend`` to reuse a pool across calls; otherwise one is
+    resolved from ``dist`` and released before returning.
+    """
+    cfg = config if config is not None else TAMLConfig()
+    dcfg = dist if dist is not None else DistConfig()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if tree.theta is None:
+        tree.theta = model_factory().state_dict()
+    maml_cfg = cfg.resolved_maml()
+    leaves = tree.leaves()
+    leaf_rngs = rng.spawn(len(leaves))
+
+    owns_backend = backend is None
+    resolved = backend if backend is not None else resolve_backend(dcfg)
+    with obs.span(
+        "dist.taml_train",
+        leaves=len(leaves),
+        backend=type(resolved).__name__,
+        workers=dcfg.workers,
+    ):
+        try:
+            gang_width = dcfg.workers if isinstance(resolved, SerialBackend) else 1
+            if gang_width > 1:
+                results = _gang_train_leaves(
+                    model_factory, leaves, maml_cfg, loss_fn, tree.theta, leaf_rngs, gang_width
+                )
+            else:
+                jobs = [
+                    LeafJob(
+                        factory=model_factory,
+                        tasks=tuple(leaf.cluster),
+                        config=maml_cfg,
+                        loss_fn=loss_fn,
+                        theta={k: v.copy() for k, v in tree.theta.items()},
+                        rng=leaf_rngs[i],
+                    )
+                    for i, leaf in enumerate(leaves)
+                ]
+                results = resolved.map_ordered(run_leaf_job, jobs)
+        finally:
+            if owns_backend:
+                resolved.close()
+
+    leaf_losses: dict[int, float] = {}
+    for leaf, (theta, history) in zip(leaves, results):
+        leaf.theta = theta
+        leaf_losses[id(leaf)] = history[-1] if history else 0.0
+
+    # Interior thetas start where the serial recursion leaves them right
+    # before aggregation: a copy of the root initialisation (the copy
+    # cascades down ahead of training).
+    root_theta = tree.theta
+    for node in tree.iter_nodes():
+        if not node.is_leaf and node is not tree:
+            node.theta = {k: v.copy() for k, v in root_theta.items()}
+    return _fold(tree, cfg.tree_rate, leaf_losses)
+
+
+def _fold(node: LearningTaskTree, tree_rate: float, leaf_losses: Mapping[int, float]) -> float:
+    """Replay ``_train_node``'s bottom-up aggregation, arithmetic intact."""
+    if node.is_leaf:
+        return leaf_losses[id(node)]
+    losses = [_fold(child, tree_rate, leaf_losses) for child in node.children]
+    mean_child = {
+        key: np.mean([child.theta[key] for child in node.children], axis=0)
+        for key in node.theta
+    }
+    node.theta = {
+        key: node.theta[key] + tree_rate * (mean_child[key] - node.theta[key])
+        for key in node.theta
+    }
+    return float(np.mean(losses))
+
+
+# ----------------------------------------------------------------------
+# gang executor: lockstep fused meta-training across leaves
+# ----------------------------------------------------------------------
+def _gang_train_leaves(
+    model_factory: Callable[[], Module],
+    leaves: Sequence[LearningTaskTree],
+    cfg: MAMLConfig,
+    loss_fn: LossFn,
+    root_theta: Mapping[str, np.ndarray],
+    rngs: Sequence[np.random.Generator],
+    width: int,
+) -> list[tuple[dict[str, np.ndarray], list[float]]]:
+    """Train all leaves, ganging eligible ones ``width`` at a time.
+
+    Eligible = the fused kernels cover the model and the leaf's tasks
+    share one ``(seq_in, seq_out)`` shape, so every meta-iteration of
+    the per-leaf reference takes the batched fused path the gang
+    mirrors.  Ineligible leaves fall back to the per-leaf reference —
+    same results, no stacking.
+    """
+    model = model_factory()
+    fast = resolve_fast_path(cfg.fast_path, model)
+    results: list[tuple[dict[str, np.ndarray], list[float]] | None] = [None] * len(leaves)
+
+    eligible: list[int] = []
+    for i, leaf in enumerate(leaves):
+        uniform = len({(t.seq_in, t.seq_out) for t in leaf.cluster}) == 1
+        if fast and uniform:
+            eligible.append(i)
+        else:
+            results[i] = run_leaf_job(
+                LeafJob(
+                    factory=model_factory,
+                    tasks=tuple(leaf.cluster),
+                    config=cfg,
+                    loss_fn=loss_fn,
+                    theta={k: v.copy() for k, v in root_theta.items()},
+                    rng=rngs[i],
+                )
+            )
+
+    for start in range(0, len(eligible), width):
+        gang = eligible[start : start + width]
+        obs.counter("dist.meta.gangs")
+        gang_out = _train_gang(
+            model,
+            [list(leaves[i].cluster) for i in gang],
+            cfg,
+            loss_fn,
+            root_theta,
+            [rngs[i] for i in gang],
+        )
+        for i, out in zip(gang, gang_out):
+            results[i] = out
+    return results  # type: ignore[return-value]
+
+
+def _train_gang(
+    model: Module,
+    gang_tasks: Sequence[Sequence[LearningTask]],
+    cfg: MAMLConfig,
+    loss_fn: LossFn,
+    root_theta: Mapping[str, np.ndarray],
+    rngs: Sequence[np.random.Generator],
+) -> list[tuple[dict[str, np.ndarray], list[float]]]:
+    """Lockstep meta-training of one gang of leaf clusters.
+
+    Mirrors ``meta_train``'s fused path exactly, per member: the member
+    RNG draws the task choice then the task-major support batches, and
+    the stacked arrays are the member's ``replicate_params`` blocks
+    concatenated — so each member slice of every kernel call carries
+    the very operands the per-leaf path would have used.
+    """
+    n = len(gang_tasks)
+    thetas = [{k: np.array(v, copy=True) for k, v in root_theta.items()} for _ in range(n)]
+    histories: list[list[float]] = [[] for _ in range(n)]
+
+    for _ in range(cfg.iterations):
+        # Per-member sampling, exactly the per-leaf RNG consumption order.
+        batch_sizes: list[int] = []
+        drawn_all: list[list[list[tuple[np.ndarray, np.ndarray]]]] = []
+        queries_all: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        sigs: list[tuple] = []
+        for g in range(n):
+            tasks = gang_tasks[g]
+            b = min(cfg.meta_batch, len(tasks))
+            chosen = rngs[g].choice(len(tasks), size=b, replace=False)
+            batch_tasks = [tasks[int(idx)] for idx in chosen]
+            drawn = [
+                [task.support_batch(cfg.support_batch, rngs[g]) for _ in range(cfg.inner_steps)]
+                for task in batch_tasks
+            ]
+            queries = [_query_windows(task) for task in batch_tasks]
+            batch_sizes.append(b)
+            drawn_all.append(drawn)
+            queries_all.append(queries)
+            # Stacking is only bitwise-safe between members whose window
+            # shapes agree position for position (identical padding and
+            # identical loss dispatch); the signature captures that.
+            sigs.append(
+                (
+                    tuple(
+                        tuple((x.shape, y.shape) for (x, y) in task_draws)
+                        for task_draws in drawn
+                    ),
+                    tuple((qx.shape, qy.shape) for (qx, qy) in queries),
+                )
+            )
+
+        groups: dict[tuple, list[int]] = {}
+        for g in range(n):
+            groups.setdefault(sigs[g], []).append(g)
+
+        for members in groups.values():
+            stacked = {
+                name: np.concatenate(
+                    [
+                        np.repeat(thetas[g][name][None, ...], batch_sizes[g], axis=0)
+                        for g in members
+                    ],
+                    axis=0,
+                )
+                for name in root_theta
+            }
+            for step in range(cfg.inner_steps):
+                xs = [drawn_all[g][t][step][0] for g in members for t in range(batch_sizes[g])]
+                ys = [drawn_all[g][t][step][1] for g in members for t in range(batch_sizes[g])]
+                _, grads = fused.batched_loss_and_grads(model, stacked, xs, ys, loss_fn)
+                for name in stacked:
+                    stacked[name] -= cfg.inner_lr * grads[name]
+
+            qxs = [q[0] for g in members for q in queries_all[g]]
+            qys = [q[1] for g in members for q in queries_all[g]]
+            query_losses, q_grads = fused.batched_loss_and_grads(model, stacked, qxs, qys, loss_fn)
+
+            offset = 0
+            for g in members:
+                b = batch_sizes[g]
+                block = slice(offset, offset + b)
+                offset += b
+                if cfg.outer == "fomaml":
+                    update = {name: q_grads[name][block].sum(axis=0) for name in q_grads}
+                else:  # reptile
+                    update = {
+                        name: (thetas[g][name][None, ...] - stacked[name][block]).sum(axis=0)
+                        for name in stacked
+                    }
+                for name, arr in thetas[g].items():
+                    np.subtract(arr, cfg.meta_lr * update[name] / b, out=arr)
+                histories[g].append(float(np.mean(query_losses[block])))
+
+    return [(thetas[g], histories[g]) for g in range(n)]

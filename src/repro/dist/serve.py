@@ -1,0 +1,188 @@
+"""Sharded streaming serve: ``ServeEngine`` with per-shard candidate builds.
+
+:class:`ShardedEngine` keeps the event loop, triggers, cache, queue
+bound, and acceptance bookkeeping of :class:`repro.serve.engine.ServeEngine`
+untouched and overrides exactly two hooks:
+
+* ``_build_candidates`` — each batch's candidate graph is built stripe
+  by stripe through :func:`repro.dist.shard.sharded_build_candidates`
+  (optionally fanned across a :class:`~repro.dist.backend.Backend`),
+  which provably merges to the dense graph, so every downstream plan —
+  and therefore :func:`repro.serve.adapters.result_signature` — is
+  unchanged at any shard count;
+* ``_on_event`` — events carrying a location are routed to the stripe
+  that owns (or is nearest to) their cell column under the most recent
+  batch's shard layout, feeding per-shard ``dist.shard.{sid}.events``
+  counters and ``dist.shard.{sid}.lag_s`` histograms (simulation-time
+  staleness of the shard's last merged plan when the event lands).
+
+Boundary workers — snapshots whose halo spans more than one stripe —
+are counted per batch in :attr:`ShardedEngine.batch_stats`; they are the
+reconciliation cost of sharding (the same snapshot is shipped to every
+stripe it can reach, and the merge de-duplicates nothing because task
+ownership is disjoint).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Sequence
+
+from repro import obs
+from repro.assignment.baselines import km_assign_candidates
+from repro.assignment.plan import AssignmentPlan
+from repro.assignment.ppi import PPIConfig, ppi_assign_candidates
+from repro.dist.backend import Backend, DistConfig, resolve_backend
+from repro.dist.shard import ComponentMatcher, ShardSpec, ShardStats, make_shards, sharded_build_candidates
+from repro.sc.entities import SpatialTask, Worker, WorkerSnapshot
+from repro.sc.platform import AssignFn, SnapshotProvider
+from repro.serve.engine import CandidateAssignFn, ServeConfig, ServeEngine
+from repro.serve.events import TaskArrival, TaskCancel, TaskDeadline
+
+
+def component_candidate_assign(
+    algorithm: str = "ppi",
+    config: PPIConfig | None = None,
+    backend: Backend | None = None,
+) -> CandidateAssignFn:
+    """A :data:`CandidateAssignFn` whose KM solves decompose by component.
+
+    Drop-in for the engine's candidate path: same plans as the plain
+    ``ppi_assign_candidates`` / ``km_assign_candidates`` closures (the
+    component decomposition is exact under a unique optimum, see
+    :mod:`repro.dist.shard`), with each matching split into its
+    connected components — optionally solved across ``backend``.
+    """
+    if algorithm not in ("ppi", "km"):
+        raise ValueError("algorithm must be 'ppi' or 'km'")
+    matcher = ComponentMatcher(backend=backend)
+
+    def assign(
+        tasks: Sequence[SpatialTask],
+        snapshots: Sequence[WorkerSnapshot],
+        t: float,
+        candidates: dict[int, list[int]],
+    ) -> AssignmentPlan:
+        if algorithm == "ppi":
+            return ppi_assign_candidates(tasks, snapshots, t, candidates, config, matcher=matcher)
+        return km_assign_candidates(tasks, snapshots, t, candidates, matcher=matcher)
+
+    return assign
+
+
+class ShardedEngine(ServeEngine):
+    """Route one stream through per-stripe candidate generation.
+
+    Parameters are those of :class:`ServeEngine` plus the dist knobs;
+    ``config.use_index`` is forced on (sharding *is* an index strategy)
+    and a ``candidate_assign_fn`` is therefore required.  ``dist``
+    controls both the stripe count and where stripe jobs run; serial
+    backend with any shard count is the parity reference.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        snapshot_provider: SnapshotProvider,
+        config: ServeConfig | None = None,
+        assign_fn: AssignFn | None = None,
+        candidate_assign_fn: CandidateAssignFn | None = None,
+        dist: DistConfig | None = None,
+        backend: Backend | None = None,
+    ) -> None:
+        cfg = config if config is not None else ServeConfig()
+        if not cfg.use_index:
+            cfg = replace(cfg, use_index=True)
+        super().__init__(
+            workers,
+            snapshot_provider,
+            config=cfg,
+            assign_fn=assign_fn,
+            candidate_assign_fn=candidate_assign_fn,
+        )
+        self.dist = dist if dist is not None else DistConfig()
+        self._owns_backend = backend is None
+        self.backend: Backend = backend if backend is not None else resolve_backend(self.dist)
+        #: One :class:`ShardStats` per batch, in batch order.
+        self.batch_stats: list[ShardStats] = []
+        self._last_specs: list[ShardSpec] = []
+        self._last_merge_t: float | None = None
+        self._task_col: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _build_candidates(
+        self,
+        batch_tasks: Sequence[SpatialTask],
+        snapshots: Sequence[WorkerSnapshot],
+        t: float,
+    ) -> dict[int, list[int]]:
+        cfg = self.config
+        stats = ShardStats()
+        graph = sharded_build_candidates(
+            batch_tasks,
+            snapshots,
+            t,
+            shards=self.dist.shards,
+            cell_km=cfg.index_cell_km,
+            max_candidates=cfg.max_candidates,
+            backend=self.backend,
+            stats=stats,
+        )
+        self.batch_stats.append(stats)
+        self._last_specs = make_shards(batch_tasks, self.dist.shards, cfg.index_cell_km)
+        self._last_merge_t = t
+        obs.counter("dist.serve.boundary_workers", stats.n_boundary_workers)
+        return graph
+
+    def _on_event(self, event) -> None:
+        shard_id = self._route(event)
+        if shard_id is None:
+            obs.counter("dist.events.unrouted")
+            return
+        obs.counter(f"dist.shard.{shard_id}.events")
+        if self._last_merge_t is not None:
+            obs.histogram(
+                f"dist.shard.{shard_id}.lag_s", max(event.time - self._last_merge_t, 0.0)
+            )
+
+    # ------------------------------------------------------------------
+    def _route(self, event) -> int | None:
+        """The stripe an event belongs to under the last batch's layout.
+
+        Arrivals route by their task's cell column (remembered so the
+        matching deadline/cancel events route to the same stripe);
+        batch ticks and worker availability events are global and stay
+        unrouted.  Columns outside every stripe clamp to the nearest
+        one — the stripe whose boundary tasks the event could affect.
+        """
+        if isinstance(event, TaskArrival):
+            col = math.floor(event.task.location.x / self.config.index_cell_km)
+            self._task_col[event.task.task_id] = col
+        elif isinstance(event, (TaskDeadline, TaskCancel)):
+            if event.task_id not in self._task_col:
+                return None
+            col = self._task_col[event.task_id]
+        else:
+            return None
+        if not self._last_specs:
+            return None
+        best_id, best_gap = None, math.inf
+        for spec in self._last_specs:
+            if spec.owns_column(col):
+                return spec.shard_id
+            gap = min(abs(col - spec.col_lo), abs(col - spec.col_hi))
+            if gap < best_gap:
+                best_id, best_gap = spec.shard_id, gap
+        return best_id
+
+    # ------------------------------------------------------------------
+    @property
+    def boundary_workers_total(self) -> int:
+        """Boundary-worker shipments summed over every batch so far."""
+        return sum(s.n_boundary_workers for s in self.batch_stats)
+
+    def close(self) -> None:
+        """Release the backend, if this engine created it."""
+        if self._owns_backend:
+            self.backend.close()

@@ -1,0 +1,371 @@
+"""Spatial sharding of the assignment stage, with exact merge.
+
+The paper's Theorem 2 bounds how far a worker can detour:
+``min(d/2, sp * (deadline - t))``.  That makes one assignment batch
+spatially decomposable — a worker whose predicted points all lie
+further than that radius from a task can never serve it — so the grid
+splits into ``K`` x-stripes of index cell columns, and each stripe's
+candidate generation runs independently:
+
+* **tasks** are owned by exactly one stripe (the one owning their cell
+  column) — the merge is a disjoint union, no conflicts by construction;
+* **workers** join every stripe their radius-expanded predicted points
+  touch (the *halo*), computed with the same
+  :func:`repro.serve.spatial_index.cells_in_radius` arithmetic the index
+  itself queries with, so shard membership covers exactly the buckets a
+  query could read;
+* the **horizon** (latest pending deadline) is computed once over the
+  global task set and passed down, because a shard-local horizon would
+  shrink halo radii.
+
+Under those three rules the merged candidate graph **equals** the dense
+single-process :func:`~repro.serve.spatial_index.build_candidates`
+output — including per-task worker order (stripes preserve global
+snapshot order) and ``max_candidates`` pruning (each task's full
+candidate list lives in its owning stripe).  The parity tests pin this.
+
+Matching then decomposes by *connected components* of the edge graph:
+stages 1 and 3 of PPI (and all of KM) are global max-weight matchings,
+and a maximum matching restricted to a connected component is the
+component of a global maximum matching whenever the optimum is unique —
+the ordinary case with generic float weights (reciprocal distances).
+:class:`ComponentMatcher` plugs into
+:func:`repro.assignment.ppi.ppi_assign_candidates` /
+:func:`repro.assignment.baselines.km_assign_candidates` via their
+``matcher`` hook and re-sorts the merged matching into the ascending
+left-id order the dense solver emits.  PPI's stage-2 epsilon-chunking
+is order-sensitive and *not* component-decomposable, so it stays on the
+coordinator — its chunks are at most ``epsilon`` edges anyway.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro import obs
+from repro.assignment.baselines import km_assign_candidates
+from repro.assignment.hungarian import maximum_weight_matching
+from repro.assignment.plan import AssignmentPlan
+from repro.assignment.ppi import PPIConfig, ppi_assign_candidates
+from repro.dist.backend import Backend, SerialBackend
+from repro.sc.entities import SpatialTask, WorkerSnapshot
+from repro.serve.spatial_index import build_candidates, cells_in_radius, latest_horizon
+
+Edge = tuple[int, int, float]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """One x-stripe of index cell columns, ``col_lo..col_hi`` inclusive."""
+
+    shard_id: int
+    col_lo: int
+    col_hi: int
+
+    def owns_column(self, col: int) -> bool:
+        return self.col_lo <= col <= self.col_hi
+
+
+@dataclass
+class ShardStats:
+    """Per-batch accounting of one sharded candidate build."""
+
+    n_shards: int = 0
+    tasks_per_shard: list[int] = field(default_factory=list)
+    snapshots_per_shard: list[int] = field(default_factory=list)
+    pairs_per_shard: list[int] = field(default_factory=list)
+    n_boundary_workers: int = 0
+    merge_seconds: float = 0.0
+
+
+def make_shards(
+    tasks: Sequence[SpatialTask], k: int, cell_km: float = 1.0
+) -> list[ShardSpec]:
+    """Partition the occupied cell columns into ``K`` contiguous stripes.
+
+    Stripes split the *occupied* column list (columns that actually hold
+    tasks) into near-equal runs, so skewed workloads still spread across
+    shards.  ``k`` is capped at the occupied column count — more stripes
+    than columns cannot own anything.
+    """
+    if k < 1:
+        raise ValueError("need at least one shard")
+    if cell_km <= 0:
+        raise ValueError("cell size must be positive")
+    cols = sorted({math.floor(t.location.x / cell_km) for t in tasks})
+    if not cols:
+        return []
+    k = min(k, len(cols))
+    shards: list[ShardSpec] = []
+    base, extra = divmod(len(cols), k)
+    start = 0
+    for shard_id in range(k):
+        size = base + (1 if shard_id < extra else 0)
+        run = cols[start : start + size]
+        start += size
+        shards.append(ShardSpec(shard_id=shard_id, col_lo=run[0], col_hi=run[-1]))
+    return shards
+
+
+def shard_memberships(
+    shards: Sequence[ShardSpec],
+    snapshots: Sequence[WorkerSnapshot],
+    horizon: float,
+    cell_km: float,
+) -> list[list[int]]:
+    """Snapshot positions per shard, preserving global snapshot order.
+
+    A snapshot joins every stripe whose column range intersects the
+    cells its radius-``min(d/2, sp * horizon)`` queries would scan
+    (:func:`cells_in_radius` around each predicted point) — the halo.
+    Snapshots the dense path would skip (no predicted points, zero
+    radius) join nothing, exactly as the dense loop `continue`s them.
+    """
+    col_to_shard: dict[int, int] = {}
+    for spec in shards:
+        for col in range(spec.col_lo, spec.col_hi + 1):
+            col_to_shard[col] = spec.shard_id
+    members: list[list[int]] = [[] for _ in shards]
+    for pos, snap in enumerate(snapshots):
+        if len(snap.predicted_xy) == 0:
+            continue
+        radius = min(snap.detour_budget_km / 2.0, snap.speed_km_per_min * horizon)
+        if radius <= 0:
+            continue
+        touched: set[int] = set()
+        for x, y in snap.predicted_xy:
+            for cx, _cy in cells_in_radius(float(x), float(y), radius, cell_km):
+                shard_id = col_to_shard.get(cx)
+                if shard_id is not None:
+                    touched.add(shard_id)
+        for shard_id in sorted(touched):
+            members[shard_id].append(pos)
+    return members
+
+
+@dataclass(frozen=True)
+class ShardCandidateJob:
+    """One stripe's candidate generation, as a picklable payload."""
+
+    tasks: tuple[SpatialTask, ...]
+    snapshots: tuple[WorkerSnapshot, ...]
+    current_time: float
+    cell_km: float
+    max_candidates: int | None
+    horizon: float
+
+
+def run_shard_candidate_job(job: ShardCandidateJob) -> dict[int, list[int]]:
+    """Build one stripe's candidate graph (the pool worker entry)."""
+    return build_candidates(
+        list(job.tasks),
+        list(job.snapshots),
+        job.current_time,
+        cell_km=job.cell_km,
+        max_candidates=job.max_candidates,
+        horizon=job.horizon,
+    )
+
+
+def sharded_build_candidates(
+    tasks: Sequence[SpatialTask],
+    snapshots: Sequence[WorkerSnapshot],
+    current_time: float,
+    shards: int,
+    cell_km: float = 1.0,
+    max_candidates: int | None = None,
+    backend: Backend | None = None,
+    stats: ShardStats | None = None,
+) -> dict[int, list[int]]:
+    """The dense candidate graph, built stripe by stripe.
+
+    Provably identical to ``build_candidates(tasks, snapshots, ...)``
+    (module docstring has the argument; the parity tests have the
+    receipts).  ``stats``, when given, is filled with the per-shard
+    accounting of this batch.
+    """
+    resolved = backend if backend is not None else SerialBackend()
+    horizon = latest_horizon(tasks, current_time)
+    specs = make_shards(tasks, shards, cell_km)
+    if not specs:
+        return {}
+    members = shard_memberships(specs, snapshots, horizon, cell_km)
+
+    tasks_by_shard: list[list[SpatialTask]] = [[] for _ in specs]
+    for task in tasks:
+        col = math.floor(task.location.x / cell_km)
+        for spec in specs:
+            if spec.owns_column(col):
+                tasks_by_shard[spec.shard_id].append(task)
+                break
+
+    jobs = [
+        ShardCandidateJob(
+            tasks=tuple(tasks_by_shard[s]),
+            snapshots=tuple(snapshots[pos] for pos in members[s]),
+            current_time=current_time,
+            cell_km=cell_km,
+            max_candidates=max_candidates,
+            horizon=horizon,
+        )
+        for s in range(len(specs))
+    ]
+    graphs = resolved.map_ordered(run_shard_candidate_job, jobs)
+
+    import time as _time
+
+    started = _time.perf_counter()
+    merged: dict[int, list[int]] = {}
+    for graph in graphs:  # task ownership is disjoint: a plain union
+        merged.update(graph)
+    merge_seconds = _time.perf_counter() - started
+    obs.histogram("dist.merge.seconds", merge_seconds)
+
+    if stats is not None:
+        shard_count = [0] * len(specs)
+        for s, posns in enumerate(members):
+            shard_count[s] = len(posns)
+        seen: dict[int, int] = {}
+        for posns in members:
+            for pos in posns:
+                seen[pos] = seen.get(pos, 0) + 1
+        stats.n_shards = len(specs)
+        stats.tasks_per_shard = [len(t) for t in tasks_by_shard]
+        stats.snapshots_per_shard = shard_count
+        stats.pairs_per_shard = [sum(len(v) for v in g.values()) for g in graphs]
+        stats.n_boundary_workers = sum(1 for c in seen.values() if c > 1)
+        stats.merge_seconds = merge_seconds
+        for s in range(len(specs)):
+            obs.counter(f"dist.shard.{s}.pairs", stats.pairs_per_shard[s])
+    return merged
+
+
+# ----------------------------------------------------------------------
+# connected-component matching
+# ----------------------------------------------------------------------
+def connected_components(edges: Sequence[Edge]) -> list[list[Edge]]:
+    """Split an edge list into connected components of its bipartite graph.
+
+    Task and worker ids live in separate namespaces, so vertices are
+    keyed by side.  Components come out ordered by their smallest edge
+    index and keep the input's edge order within — determinism the
+    merge re-sort then makes irrelevant, but it keeps debugging sane.
+    """
+    parent: dict[tuple[str, int], tuple[str, int]] = {}
+
+    def find(v: tuple[str, int]) -> tuple[str, int]:
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        while parent[v] != root:  # path compression
+            parent[v], v = root, parent[v]
+        return root
+
+    def union(a: tuple[str, int], b: tuple[str, int]) -> None:
+        for v in (a, b):
+            if v not in parent:
+                parent[v] = v
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for left, right, _ in edges:
+        union(("t", left), ("w", right))
+
+    by_root: dict[tuple[str, int], list[Edge]] = {}
+    for edge in edges:
+        by_root.setdefault(find(("t", edge[0])), []).append(edge)
+    return list(by_root.values())
+
+
+@dataclass
+class ComponentMatcher:
+    """A drop-in :data:`repro.assignment.ppi.Matcher` that decomposes.
+
+    Solves each connected component with the dense Hungarian solver —
+    optionally fanning components across a backend — and merges the
+    results back into ascending left-id order, the exact order
+    :func:`maximum_weight_matching` emits.  Equal to the global solve
+    whenever the maximum-weight matching is unique (see the module
+    docstring); edge lists at or below ``inline_below`` are solved
+    directly, the decomposition overhead not being worth it (PPI's
+    stage-2 chunks always land here).
+    """
+
+    backend: Backend | None = None
+    inline_below: int = 16
+    #: filled per call: component count and largest component size.
+    last_n_components: int = 0
+    last_max_component: int = 0
+
+    def __call__(self, edges: Sequence[Edge]) -> list[Edge]:
+        if len(edges) <= self.inline_below:
+            self.last_n_components = 1 if edges else 0
+            self.last_max_component = len(edges)
+            return maximum_weight_matching(list(edges))
+        components = connected_components(edges)
+        self.last_n_components = len(components)
+        self.last_max_component = max(len(c) for c in components)
+        obs.histogram("dist.match.components", len(components))
+        if self.backend is not None and len(components) > 1:
+            solved = self.backend.map_ordered(maximum_weight_matching, components)
+        else:
+            solved = [maximum_weight_matching(c) for c in components]
+        merged = [edge for part in solved for edge in part]
+        merged.sort(key=lambda e: e[0])
+        return merged
+
+
+# ----------------------------------------------------------------------
+# sharded assignment entry points
+# ----------------------------------------------------------------------
+def sharded_ppi_assign(
+    tasks: Sequence[SpatialTask],
+    snapshots: Sequence[WorkerSnapshot],
+    current_time: float,
+    shards: int,
+    config: PPIConfig | None = None,
+    cell_km: float = 1.0,
+    max_candidates: int | None = None,
+    backend: Backend | None = None,
+    stats: ShardStats | None = None,
+) -> AssignmentPlan:
+    """PPI over sharded candidates with component-decomposed matching.
+
+    Reproduces ``ppi_assign(tasks, snapshots, current_time, config)``
+    exactly (unique-optimum caveat in the module docstring): the merged
+    candidate graph equals the dense superset of Theorem-2-feasible
+    pairs, the stage control flow runs globally on the coordinator, and
+    only the matmul-heavy KM solves decompose.
+    """
+    candidates = sharded_build_candidates(
+        tasks, snapshots, current_time, shards,
+        cell_km=cell_km, max_candidates=max_candidates, backend=backend, stats=stats,
+    )
+    matcher = ComponentMatcher(backend=backend)
+    return ppi_assign_candidates(
+        tasks, snapshots, current_time, candidates, config, matcher=matcher
+    )
+
+
+def sharded_km_assign(
+    tasks: Sequence[SpatialTask],
+    snapshots: Sequence[WorkerSnapshot],
+    current_time: float,
+    shards: int,
+    cell_km: float = 1.0,
+    max_candidates: int | None = None,
+    backend: Backend | None = None,
+    stats: ShardStats | None = None,
+) -> AssignmentPlan:
+    """KM over sharded candidates with component-decomposed matching."""
+    candidates = sharded_build_candidates(
+        tasks, snapshots, current_time, shards,
+        cell_km=cell_km, max_candidates=max_candidates, backend=backend, stats=stats,
+    )
+    matcher = ComponentMatcher(backend=backend)
+    return km_assign_candidates(
+        tasks, snapshots, current_time, candidates, matcher=matcher
+    )

@@ -81,6 +81,25 @@ class Tensor:
         return value if isinstance(value, Tensor) else Tensor(value)
 
     # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple:
+        """Pickle a tensor as a detached leaf.
+
+        The tape (``_backward`` closures and parent links) cannot cross
+        a process boundary; values, gradients, and the leaf flag can.
+        A round-tripped tensor therefore behaves like a freshly created
+        leaf carrying the same data — which is all the multiprocessing
+        backends ship (parameters in, parameters out).
+        """
+        return (self.data, self.grad, self.requires_grad, self.name)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.data, self.grad, self.requires_grad, self.name = state
+        self._backward = None
+        self._prev = ()
+
+    # ------------------------------------------------------------------
     # shape / dtype surface
     # ------------------------------------------------------------------
     @property

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.dist.backend import DistConfig
 from repro.meta.gtmc import GTMCConfig
 from repro.meta.maml import MAMLConfig
 
@@ -38,6 +39,14 @@ class PredictionConfig:
         Inner steps used to record learning paths for ``Sim_l``.
     mr_threshold_km:
         The matching-rate distance threshold ``a`` (Def. 7).
+    dist:
+        Parallel-execution knobs (:class:`repro.dist.backend.DistConfig`)
+        for the tree-structured meta-training fan-out.  ``None`` (the
+        default) keeps the legacy serial path byte for byte; any
+        non-``None`` value routes ``gttaml``/``gttaml_gt`` training
+        through :func:`repro.dist.meta.dist_taml_train`, whose result is
+        bit-identical at every worker count (but uses its own per-leaf
+        RNG schedule, so it differs numerically from the legacy path).
     """
 
     algorithm: str = "gttaml"
@@ -59,6 +68,7 @@ class PredictionConfig:
     loss_d_q_km: float = 1.0
     loss_kappa: float = 0.5
     loss_delta: float = 0.5
+    dist: DistConfig | None = None
 
     _ALGORITHMS = ("maml", "ctml", "gttaml", "gttaml_gt")
     _LOSSES = ("mse", "task_oriented")

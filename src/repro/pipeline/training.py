@@ -90,20 +90,43 @@ def probe_learning_paths(
     return paths
 
 
-def make_model_factory(config: PredictionConfig) -> Callable[[], Module]:
-    """Deterministic mobility-model factory (LSTM or GRU per config)."""
+@dataclass(frozen=True)
+class MobilityModelFactory:
+    """Deterministic, *picklable* mobility-model factory.
 
-    def factory() -> Module:
-        rng = np.random.default_rng(config.seed)
+    A module-level class rather than a closure so the factory can ride
+    a ``multiprocessing`` payload to a pool worker (the ``repro.dist``
+    backends ship it alongside each leaf's learning tasks).  Calling it
+    always builds the same freshly initialised model: the RNG is
+    re-seeded per call.
+    """
+
+    cell: str = "lstm"
+    input_size: int = 2
+    hidden_size: int = 16
+    seq_out: int = 1
+    seed: int = 0
+
+    def __call__(self) -> Module:
+        rng = np.random.default_rng(self.seed)
         return make_mobility_model(
-            config.cell,
-            input_size=2,
-            hidden_size=config.hidden_size,
-            seq_out=config.seq_out,
+            self.cell,
+            input_size=self.input_size,
+            hidden_size=self.hidden_size,
+            seq_out=self.seq_out,
             rng=rng,
         )
 
-    return factory
+
+def make_model_factory(config: PredictionConfig) -> MobilityModelFactory:
+    """Deterministic mobility-model factory (LSTM or GRU per config)."""
+    return MobilityModelFactory(
+        cell=config.cell,
+        input_size=2,
+        hidden_size=config.hidden_size,
+        seq_out=config.seq_out,
+        seed=config.seed,
+    )
 
 
 def build_loss(config: PredictionConfig, city: City, historical_tasks_xy: np.ndarray):
@@ -192,7 +215,15 @@ def train_predictor(
                     embeddings = build_factor_embeddings(tasks, paths, factors=use_factors)
                     tree = kmeans_multilevel_cluster(tasks, embeddings, sims, gtmc_cfg, rng=rng)
             with obs.span("training.meta_train", algorithm=config.algorithm):
-                final_loss = taml_train(tree, factory, loss_fn, TAMLConfig(maml=config.maml), rng=rng)
+                taml_cfg = TAMLConfig(maml=config.maml)
+                if config.dist is not None:
+                    from repro.dist.meta import dist_taml_train
+
+                    final_loss = dist_taml_train(
+                        tree, factory, loss_fn, config=taml_cfg, dist=config.dist, rng=rng
+                    )
+                else:
+                    final_loss = taml_train(tree, factory, loss_fn, taml_cfg, rng=rng)
             history = [final_loss]
             leaf_theta = {
                 t.worker_id: leaf.theta for leaf in tree.leaves() for t in leaf.cluster

@@ -32,7 +32,12 @@ from repro.serve.events import (
     WorkerCheckOut,
 )
 from repro.serve.prediction_cache import CacheStats, PredictionCache
-from repro.serve.spatial_index import UniformGridIndex, build_candidates
+from repro.serve.spatial_index import (
+    UniformGridIndex,
+    build_candidates,
+    cells_in_radius,
+    latest_horizon,
+)
 from repro.serve.streams import (
     DeadReckoningProvider,
     StreamConfig,
@@ -64,6 +69,8 @@ __all__ = [
     "WorkerCheckOut",
     "batch_platform_config",
     "build_candidates",
+    "cells_in_radius",
+    "latest_horizon",
     "make_task_stream",
     "make_worker_fleet",
     "result_signature",

@@ -225,6 +225,38 @@ class ServeEngine:
         self._worker_pos = {w.worker_id: i for i, w in enumerate(self.workers)}
 
     # ------------------------------------------------------------------
+    def _build_candidates(
+        self,
+        batch_tasks: Sequence[SpatialTask],
+        snapshots: Sequence[WorkerSnapshot],
+        t: float,
+    ) -> dict[int, list[int]]:
+        """One batch's candidate graph (the ``use_index`` path).
+
+        Subclasses substitute their own construction —
+        :class:`repro.dist.serve.ShardedEngine` builds the same graph
+        shard by shard — as long as the result matches this one, the
+        engine's plans are unchanged.
+        """
+        cfg = self.config
+        return build_candidates(
+            batch_tasks,
+            snapshots,
+            t,
+            cell_km=cfg.index_cell_km,
+            max_candidates=cfg.max_candidates,
+        )
+
+    def _on_event(self, event) -> None:
+        """Post-dispatch event hook; the base engine does nothing.
+
+        Called once per processed event, after its state updates.
+        Subclasses use it for routing accounting (per-shard event
+        counters in :class:`repro.dist.serve.ShardedEngine`); it must
+        not mutate engine state the event loop depends on.
+        """
+
+    # ------------------------------------------------------------------
     def run(
         self,
         tasks: Sequence[SpatialTask],
@@ -341,13 +373,7 @@ class ServeEngine:
                 with obs.span("serve.assign", tasks=len(batch_tasks)):
                     started = time.perf_counter()
                     if cfg.use_index and self.candidate_assign_fn is not None:
-                        candidates = build_candidates(
-                            batch_tasks,
-                            snapshots,
-                            t,
-                            cell_km=cfg.index_cell_km,
-                            max_candidates=cfg.max_candidates,
-                        )
+                        candidates = self._build_candidates(batch_tasks, snapshots, t)
                         batch_candidates = sum(len(v) for v in candidates.values())
                         result.n_candidate_pairs += batch_candidates
                         obs.histogram("serve.index.candidates", batch_candidates)
@@ -476,6 +502,7 @@ class ServeEngine:
                     online[event.worker.worker_id] = event.worker
                 elif isinstance(event, WorkerCheckOut):
                     online.pop(event.worker_id, None)
+                self._on_event(event)
                 if watch:
                     obs.histogram("serve.loop.lag_s", time.perf_counter() - event_started)
                     obs.gauge("serve.loop.heap_depth", len(queue))

@@ -30,6 +30,33 @@ from repro import obs
 from repro.sc.entities import SpatialTask, WorkerSnapshot
 
 
+def cells_in_radius(
+    x: float, y: float, radius: float, cell_km: float
+) -> list[tuple[int, int]]:
+    """Grid cells a radius query around ``(x, y)`` touches.
+
+    The bounding-box cell range ``cell(x - r, y - r) .. cell(x + r,
+    y + r)`` — a superset of the cells the disk intersects, and exactly
+    the cells :meth:`UniformGridIndex._query_positions` scans.  Shard
+    and halo construction in :mod:`repro.dist.shard` reuses this so
+    "which shards can this worker reach" and "which buckets will the
+    index read" are the same arithmetic by construction: any point a
+    query could return lives in one of these cells.
+
+    A point exactly on a cell edge belongs to the higher cell
+    (``floor`` semantics), consistent with the index's bucketing.
+    """
+    if radius < 0:
+        raise ValueError("query radius must be non-negative")
+    if cell_km <= 0:
+        raise ValueError("cell size must be positive")
+    cx0 = math.floor((x - radius) / cell_km)
+    cy0 = math.floor((y - radius) / cell_km)
+    cx1 = math.floor((x + radius) / cell_km)
+    cy1 = math.floor((y + radius) / cell_km)
+    return [(cx, cy) for cx in range(cx0, cx1 + 1) for cy in range(cy0, cy1 + 1)]
+
+
 @dataclass
 class UniformGridIndex:
     """A hash-bucketed uniform grid over 2-D points.
@@ -78,14 +105,11 @@ class UniformGridIndex:
             raise ValueError("query radius must be non-negative")
         if self._xy is None or not len(self._ids):
             return []
-        cx0, cy0 = self._cell(x - radius, y - radius)
-        cx1, cy1 = self._cell(x + radius, y + radius)
         positions: list[int] = []
-        for cx in range(cx0, cx1 + 1):
-            for cy in range(cy0, cy1 + 1):
-                bucket = self._buckets.get((cx, cy))
-                if bucket:
-                    positions.extend(bucket)
+        for cell in cells_in_radius(x, y, radius, self.cell_km):
+            bucket = self._buckets.get(cell)
+            if bucket:
+                positions.extend(bucket)
         if not positions:
             return []
         pts = self._xy[positions]
@@ -111,12 +135,28 @@ class UniformGridIndex:
         return best
 
 
+def latest_horizon(
+    tasks: Sequence[SpatialTask], current_time: float
+) -> float:
+    """Minutes until the latest pending deadline (the radius cap).
+
+    Exposed so a coordinator splitting ``tasks`` across shards can
+    compute the horizon over the *global* task set and pass it to each
+    per-shard :func:`build_candidates` call — a shard-local horizon
+    would shrink some workers' query radii and break exact agreement
+    with the dense graph.
+    """
+    latest_deadline = max((t.deadline for t in tasks), default=current_time)
+    return max(latest_deadline - current_time, 0.0)
+
+
 def build_candidates(
     tasks: Sequence[SpatialTask],
     snapshots: Sequence[WorkerSnapshot],
     current_time: float,
     cell_km: float = 1.0,
     max_candidates: int | None = None,
+    horizon: float | None = None,
 ) -> dict[int, list[int]]:
     """Sparse candidate graph ``task_id -> worker ids`` for one batch.
 
@@ -127,12 +167,14 @@ def build_candidates(
     match the dense plan exactly.  Worker ids per task are ordered by
     snapshot position, reproducing the dense enumeration order;
     ``max_candidates`` keeps only the k nearest workers per task
-    (approximate, but bounds the per-task degree).
+    (approximate, but bounds the per-task degree).  ``horizon``
+    overrides the deadline horizon (see :func:`latest_horizon`); the
+    default derives it from ``tasks``.
     """
     index = UniformGridIndex(cell_km=cell_km)
     index.build([(t.task_id, t.location.x, t.location.y) for t in tasks])
-    latest_deadline = max((t.deadline for t in tasks), default=current_time)
-    horizon = max(latest_deadline - current_time, 0.0)
+    if horizon is None:
+        horizon = latest_horizon(tasks, current_time)
 
     per_task: dict[int, list[tuple[int, float]]] = {}
     for pos, snap in enumerate(snapshots):

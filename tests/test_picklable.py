@@ -1,0 +1,130 @@
+"""Pickling round-trips for everything a repro.dist payload carries.
+
+The process backend ships jobs through ``multiprocessing``; under the
+``spawn`` start method every payload attribute must survive
+``pickle.dumps``/``loads``.  These tests pin that property for the
+configs, the model factory, the models themselves (whose parameters are
+autograd ``Tensor`` objects carrying unpicklable backward closures —
+pickling detaches them), and the composed :class:`LeafJob` payload.
+"""
+
+import pickle
+
+import numpy as np
+
+from repro.dist import DistConfig, LeafJob, run_leaf_job
+from repro.meta.learning_task import LearningTask
+from repro.meta.maml import MAMLConfig
+from repro.meta.taml import TAMLConfig
+from repro.nn.losses import TaskDensityWeighter, make_loss, mse_loss
+from repro.nn.seq2seq import make_mobility_model
+from repro.nn.tensor import Tensor
+from repro.pipeline.config import PredictionConfig
+from repro.pipeline.training import MobilityModelFactory, make_model_factory
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestConfigs:
+    def test_maml_config(self):
+        cfg = MAMLConfig(meta_lr=0.2, inner_steps=5, outer="reptile", fast_path=True)
+        assert roundtrip(cfg) == cfg
+
+    def test_taml_config(self):
+        cfg = TAMLConfig(maml=MAMLConfig(iterations=7), tree_rate=0.5)
+        assert roundtrip(cfg) == cfg
+
+    def test_dist_config(self):
+        cfg = DistConfig(backend="process", workers=3, shards=2, start_method="spawn")
+        assert roundtrip(cfg) == cfg
+
+    def test_prediction_config_with_dist(self):
+        cfg = PredictionConfig(dist=DistConfig(workers=2))
+        assert roundtrip(cfg) == cfg
+
+
+class TestTensorDetach:
+    def test_plain_tensor_roundtrips(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True, name="w")
+        t.grad = np.ones((2, 3))
+        back = roundtrip(t)
+        assert np.array_equal(back.data, t.data)
+        assert np.array_equal(back.grad, t.grad)
+        assert back.requires_grad and back.name == "w"
+
+    def test_graph_tensor_detaches(self):
+        """A tensor mid-graph carries a backward closure; the pickled
+        copy must come back as a detached leaf, not try to pickle it."""
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.full((2, 2), 3.0), requires_grad=True)
+        c = a @ b  # has _backward and _prev
+        back = roundtrip(c)
+        assert np.array_equal(back.data, c.data)
+        assert back._backward is None
+        assert back._prev == ()
+        back.backward(np.ones_like(back.data))  # detached leaf: a no-op, not a crash
+
+
+class TestModels:
+    def test_factory_roundtrips_and_builds_identically(self):
+        factory = MobilityModelFactory(cell="gru", hidden_size=5, seq_out=2, seed=9)
+        clone = roundtrip(factory)
+        a, b = factory().state_dict(), clone().state_dict()
+        assert set(a) == set(b)
+        for name in a:
+            assert np.array_equal(a[name], b[name])
+
+    def test_make_model_factory_is_picklable(self):
+        factory = make_model_factory(PredictionConfig(hidden_size=4))
+        assert roundtrip(factory) == factory
+
+    def test_seq2seq_model_roundtrips(self):
+        model = make_mobility_model("lstm", hidden_size=4, seq_out=1, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(3, 5, 2))
+        model.predict(x)  # leave some graph state behind
+        clone = roundtrip(model)
+        a, b = model.state_dict(), clone.state_dict()
+        for name in a:
+            assert np.array_equal(a[name], b[name])
+        assert np.array_equal(model.predict(x), clone.predict(x))
+
+
+class TestLossesAndJobs:
+    def _task(self, worker_id=0, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(10, 4, 2))
+        y = rng.normal(size=(10, 1, 2))
+        return LearningTask(worker_id, x[:7], y[:7], x[7:], y[7:])
+
+    def test_task_oriented_loss_roundtrips(self):
+        weighter = TaskDensityWeighter(np.array([[0.1, 0.2], [0.8, 0.9]]))
+        loss = make_loss("task_oriented", weighter)
+        back = roundtrip(loss)
+        pred = Tensor(np.zeros((2, 1, 2)))
+        target = Tensor(np.array([[[0.1, 0.2]], [[0.8, 0.9]]]))
+        assert back(pred, target).data == loss(pred, target).data
+
+    def test_leaf_job_roundtrips_and_runs(self):
+        job = LeafJob(
+            factory=MobilityModelFactory(hidden_size=4, seed=3),
+            tasks=(self._task(0, 0), self._task(1, 1)),
+            config=MAMLConfig(iterations=2, meta_batch=2, inner_steps=1, support_batch=4),
+            loss_fn=mse_loss,
+            theta=MobilityModelFactory(hidden_size=4, seed=3)().state_dict(),
+            rng=np.random.default_rng(11),
+        )
+        shipped = roundtrip(job)  # before running: the run consumes job.rng
+        direct_theta, direct_hist = run_leaf_job(job)
+        shipped_theta, shipped_hist = run_leaf_job(shipped)
+        assert direct_hist == shipped_hist
+        for name in direct_theta:
+            assert np.array_equal(direct_theta[name], shipped_theta[name])
+
+    def test_learning_task_roundtrips(self):
+        task = self._task(5, 2)
+        back = roundtrip(task)
+        assert back.worker_id == 5
+        assert np.array_equal(back.support_x, task.support_x)
+        assert np.array_equal(back.query_y, task.query_y)
