@@ -16,7 +16,12 @@ Four baselines are guarded, each behind its own opt-in pytest marker:
   :mod:`benchmarks.bench_dist` and compares the serial/gang-4
   meta-training speedup against the committed ``BENCH_dist.json``
   (the bench itself asserts bit-identical tree parameters between the
-  arms before any ratio is reported).
+  arms before any ratio is reported);
+* ``scale_bench`` — re-runs the ``warm_matching`` guard shape of
+  :mod:`benchmarks.bench_serve_scale` and compares the cold/warm
+  matcher-solve speedup against the committed
+  ``BENCH_serve_scale.json`` (the bench asserts plan parity on every
+  churn step and its own absolute 2x floor before reporting).
 
 A ratio that drops by more than ``TOLERANCE`` (20%) fails.  Ratios are
 compared rather than absolute times because both arms slow down
@@ -38,6 +43,7 @@ which only looks under ``tests/``)::
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m serve_bench
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m monitor_bench
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m dist_bench
+    PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m scale_bench
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 import bench_dist  # noqa: E402
 import bench_monitor_overhead  # noqa: E402
 import bench_serve  # noqa: E402
+import bench_serve_scale  # noqa: E402
 from bench_nn_fastpath import OUTPUT, run  # noqa: E402
 
 TOLERANCE = 0.20
@@ -192,7 +199,8 @@ def check_monitor() -> list[str]:
 def check_dist() -> list[str]:
     """Re-measure the dist bench's meta-training gang speedup.
 
-    Only the guard shape is re-run (the shard arm is informational).
+    Only the guard shape is re-run (the shard arm asserts its own
+    steady-state overhead ceiling whenever the full bench runs).
     The bench asserts bit-identical serial/gang parameters on every
     measurement, so a passing check certifies both exactness and the
     speedup floor.
@@ -214,6 +222,41 @@ def check_dist() -> list[str]:
             return []
         failures = [
             f"dist/{guard}: meta-training gang speedup {cur:.2f}x fell below "
+            f"{floor:.2f}x (baseline {base:.2f}x - {TOLERANCE:.0%})"
+        ]
+        if attempt == 0:
+            print("below tolerance; re-measuring once to rule out host noise")
+    return failures
+
+
+def check_serve_scale() -> list[str]:
+    """Re-measure the warm-started matcher speedup against its baseline.
+
+    Only the ``warm_matching`` guard shape is re-run: it finishes in
+    seconds where the 100k-worker ``serve_scale`` arm takes minutes,
+    and its cold/warm solve ratio is the load-stable quantity (both
+    arms run in the same process on the same batch states).  The bench
+    asserts plan parity on every step and its own 2x floor; this guard
+    additionally pins the committed ratio within tolerance.
+    """
+    if not bench_serve_scale.OUTPUT.exists():
+        raise FileNotFoundError(
+            f"no baseline at {bench_serve_scale.OUTPUT}; "
+            "run benchmarks/bench_serve_scale.py first"
+        )
+    baseline = json.loads(bench_serve_scale.OUTPUT.read_text())
+    guard = baseline["guard_shape"]
+    base = baseline["shapes"][guard]["speedup"]["matcher_solve"]
+    floor = base * (1.0 - TOLERANCE)
+    failures: list[str] = []
+    for attempt in range(2):
+        current = bench_serve_scale.run({guard: bench_serve_scale.WARM_SPEC})
+        cur = current["shapes"][guard]["speedup"]["matcher_solve"]
+        print(f"scale/{guard:13s} matcher-solve {cur:5.2f}x (baseline {base:5.2f}x)")
+        if cur >= floor:
+            return []
+        failures = [
+            f"scale/{guard}: warm matcher speedup {cur:.2f}x fell below "
             f"{floor:.2f}x (baseline {base:.2f}x - {TOLERANCE:.0%})"
         ]
         if attempt == 0:
@@ -245,8 +288,16 @@ def test_dist_no_regression():
     assert not failures, "dist meta-training speedup regressed:\n" + "\n".join(failures)
 
 
+@pytest.mark.scale_bench
+def test_serve_scale_no_regression():
+    failures = check_serve_scale()
+    assert not failures, "warm matcher speedup regressed:\n" + "\n".join(failures)
+
+
 def main() -> int:
-    failures = check() + check_serve() + check_monitor() + check_dist()
+    failures = (
+        check() + check_serve() + check_monitor() + check_dist() + check_serve_scale()
+    )
     if failures:
         print("REGRESSION:", *failures, sep="\n  ")
         return 1

@@ -5,6 +5,7 @@ from repro.assignment.hungarian import (
     assignment_cost,
     maximum_weight_matching,
     Edge,
+    WarmStartState,
 )
 from repro.assignment.matching_rate import (
     matching_rate,
@@ -27,6 +28,7 @@ __all__ = [
     "assignment_cost",
     "maximum_weight_matching",
     "Edge",
+    "WarmStartState",
     "matching_rate",
     "completion_radius",
     "feasible_prediction_points",

@@ -9,6 +9,23 @@ bipartite graph of candidate ``(task, worker, weight)`` edges and take
 the maximum-weight matching, leaving vertices unmatched when no
 positive-weight edge is chosen.
 
+Streaming callers solve a *sequence* of closely related matchings —
+successive serve batches share most of their candidate graph — so
+:func:`maximum_weight_matching` optionally carries a
+:class:`WarmStartState` across solves.  Two tiers of reuse:
+
+* **identical edge list** — the cached matching is returned outright
+  (unconditionally exact; nothing about the problem changed);
+* **changed edge list** — the previous solve's column potentials seed
+  a fresh JV solve: rows re-derive their potential as a row-minimum
+  (the classic column-reduction init, feasible for *any* column
+  seeds), previously matched pairs that are still tight keep their
+  match, and only the remaining free rows are re-augmented.  The
+  result is an optimal matching by complementary slackness; it equals
+  the cold solve whenever the optimum is unique — the ordinary case
+  with generic float weights, the same caveat
+  :class:`repro.dist.shard.ComponentMatcher` already carries.
+
 Correctness is cross-validated against
 ``scipy.optimize.linear_sum_assignment`` in the test suite; scipy is
 never used at runtime.
@@ -17,7 +34,7 @@ never used at runtime.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -80,18 +97,40 @@ def _shortest_augmenting_paths(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray
     the reduced-cost graph.
     """
     n, m = cost.shape
-    inf = np.inf
     u = np.zeros(n + 1)
     v = np.zeros(m + 1)
     # match[j] = row assigned to column j (0 = none); columns are 1-indexed.
     match = np.zeros(m + 1, dtype=int)
-    way = np.zeros(m + 1, dtype=int)
+    _augment_rows(cost, u, v, match, range(1, n + 1))
+    return _extract_matching(match, n, m)
 
-    for row in range(1, n + 1):
+
+def _augment_rows(
+    cost: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    match: np.ndarray,
+    rows: Sequence[int],
+) -> None:
+    """Augment each 1-indexed row in ``rows`` into the matching in place.
+
+    The core JV loop, factored out so a warm start can seed ``u``/``v``
+    and ``match`` and re-augment only the rows whose seeded match was
+    lost.  Scratch buffers (``minv``/``used``/``way``) are allocated
+    once per solve and reset per row — this is the innermost hot loop
+    of every matching call.
+    """
+    m = cost.shape[1]
+    inf = np.inf
+    way = np.zeros(m + 1, dtype=int)
+    minv = np.empty(m + 1)
+    used = np.empty(m + 1, dtype=bool)
+
+    for row in rows:
         match[0] = row
         j0 = 0
-        minv = np.full(m + 1, inf)
-        used = np.zeros(m + 1, dtype=bool)
+        minv.fill(inf)
+        used.fill(False)
         while True:
             used[j0] = True
             i0 = match[j0]
@@ -115,6 +154,8 @@ def _shortest_augmenting_paths(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray
             match[j0] = match[j1]
             j0 = j1
 
+
+def _extract_matching(match: np.ndarray, n: int, m: int) -> tuple[np.ndarray, np.ndarray]:
     rows = np.empty(n, dtype=int)
     cols = np.empty(n, dtype=int)
     idx = 0
@@ -132,9 +173,137 @@ def assignment_cost(cost: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> flo
     return float(np.asarray(cost, dtype=float)[rows, cols].sum())
 
 
+@dataclass
+class WarmStartState:
+    """Solver state carried across :func:`maximum_weight_matching` calls.
+
+    Holds the previous solve's edge list (for the exact-reuse fast
+    path), its matching, and its column dual potentials keyed by vertex
+    id, so the next solve over a mostly unchanged graph re-augments
+    only the rows whose matched edge disappeared or went slack.  The
+    state is a pure accelerator: any content (stale, empty, from an
+    unrelated graph) yields an optimal matching; a fresh state's first
+    solve runs the exact cold path.
+
+    Attributes double as accounting for benches and tests:
+    ``identical_hits`` counts whole-solve reuses, ``warm_solves`` /
+    ``cold_solves`` the seeded vs from-scratch solves, and
+    ``rows_reaugmented`` the augmenting paths actually run.
+    """
+
+    edges_key: tuple | None = None
+    zero_ok: bool = False
+    matching: list[tuple[int, int, float]] = field(default_factory=list)
+    cols_side: str = "right"
+    v_by_id: dict = field(default_factory=dict)
+    identical_hits: int = 0
+    warm_solves: int = 0
+    cold_solves: int = 0
+    rows_reaugmented: int = 0
+    rows_total: int = 0
+
+
+def _warm_matching(
+    weight: np.ndarray,
+    present: np.ndarray,
+    lefts: list,
+    rights: list,
+    warm: WarmStartState,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One maximize-solve of ``weight`` seeded from ``warm``.
+
+    Works on the min-cost form (negated weights, transposed when rows
+    outnumber columns).  Column potentials from the previous solve seed
+    ``v`` on columns whose previous match survives; row potentials are
+    re-derived as row minima (feasible for any ``v``); surviving tight
+    pairs keep their match and only the remaining free rows are
+    augmented.  With nothing to seed, everything stays zero — exactly
+    the cold solver.  Returns ``(rows, cols)`` in left/right index
+    space, same contract as :func:`solve_assignment`.
+    """
+    cost = -weight
+    transposed = cost.shape[0] > cost.shape[1]
+    if transposed:
+        cost = cost.T
+        row_ids, col_ids = rights, lefts
+        cols_side = "left"
+    else:
+        row_ids, col_ids = lefts, rights
+        cols_side = "right"
+    n, m = cost.shape
+    row_pos = {vid: i for i, vid in enumerate(row_ids)}
+    col_pos = {vid: j for j, vid in enumerate(col_ids)}
+
+    # Previous matched pairs that still exist in the new graph.
+    seeds: list[tuple[int, int, object]] = []
+    if warm.cols_side == cols_side:
+        for left, right, _w in warm.matching:
+            l_id, r_id = (right, left) if transposed else (left, right)
+            i, j = row_pos.get(l_id), col_pos.get(r_id)
+            if i is None or j is None:
+                continue
+            if present[i, j] if not transposed else present[j, i]:
+                seeds.append((i, j, r_id))
+
+    v = np.zeros(m)
+    u = np.zeros(n)
+    if seeds:
+        for i, j, col_id in seeds:
+            v[j] = min(0.0, float(warm.v_by_id.get(col_id, 0.0)))
+        # Keep a seeded pair only while it is tight under repaired
+        # duals; dropping one resets its column potential, which can
+        # un-tighten others, so iterate to a fixed point (pairs only
+        # ever leave, so this terminates).
+        while True:
+            reduced = cost - v[None, :]
+            u = reduced.min(axis=1)
+            kept: list[tuple[int, int, object]] = []
+            dropped = False
+            for i, j, col_id in seeds:
+                if reduced[i, j] - u[i] == 0.0:
+                    kept.append((i, j, col_id))
+                else:
+                    v[j] = 0.0
+                    dropped = True
+            seeds = kept
+            if not dropped:
+                break
+        if not seeds:
+            u = np.zeros(n)
+            v = np.zeros(m)
+
+    u1 = np.zeros(n + 1)
+    v1 = np.zeros(m + 1)
+    match = np.zeros(m + 1, dtype=int)
+    if seeds:
+        u1[1:] = u
+        v1[1:] = v
+        for i, j, _col_id in seeds:
+            match[j + 1] = i + 1
+    matched_rows = {i for i, _j, _c in seeds}
+    free = [i + 1 for i in range(n) if i not in matched_rows]
+    _augment_rows(cost, u1, v1, match, free)
+    warm.rows_reaugmented += len(free)
+    warm.rows_total += n
+    if seeds:
+        warm.warm_solves += 1
+    else:
+        warm.cold_solves += 1
+
+    warm.cols_side = cols_side
+    warm.v_by_id = {col_ids[j]: float(v1[j + 1]) for j in range(m)}
+    rows, cols = _extract_matching(match, n, m)
+    if transposed:
+        rows, cols = cols, rows
+        order = np.argsort(rows)
+        rows, cols = rows[order], cols[order]
+    return rows, cols
+
+
 def maximum_weight_matching(
     edges: Sequence[Edge | tuple[int, int, float]],
     allow_zero_weight: bool = False,
+    warm: WarmStartState | None = None,
 ) -> list[tuple[int, int, float]]:
     """Maximum-weight bipartite matching over a sparse edge list.
 
@@ -146,10 +315,26 @@ def maximum_weight_matching(
     Returns the chosen ``(left, right, weight)`` edges.  Edges of zero
     weight are dropped unless ``allow_zero_weight`` — an unmatched
     vertex and a zero-weight match are equivalent under the objective.
+
+    ``warm`` carries solver state across calls (see
+    :class:`WarmStartState`): an unchanged edge list returns the cached
+    matching outright, and a changed one seeds the solve with the
+    previous duals, re-augmenting only affected rows.  Equal to the
+    cold solve whenever the optimum is unique (module docstring).
     """
     normalized = [e if isinstance(e, Edge) else Edge(*e) for e in edges]
-    obs.histogram("km.edges", len(normalized))
+    if obs.enabled():
+        obs.histogram("km.edges", len(normalized))
+    if warm is not None:
+        key = tuple((e.left, e.right, e.weight) for e in normalized)
+        if warm.edges_key == key and warm.zero_ok == allow_zero_weight:
+            warm.identical_hits += 1
+            return list(warm.matching)
     if not normalized:
+        if warm is not None:
+            warm.edges_key = key
+            warm.zero_ok = allow_zero_weight
+            warm.matching = []
         return []
     if any(e.weight < 0 for e in normalized):
         raise ValueError("edge weights must be non-negative")
@@ -167,7 +352,10 @@ def maximum_weight_matching(
             weight[i, j] = max(weight[i, j], e.weight)
         present[i, j] = True
 
-    rows, cols = solve_assignment(weight, maximize=True)
+    if warm is not None:
+        rows, cols = _warm_matching(weight, present, lefts, rights, warm)
+    else:
+        rows, cols = solve_assignment(weight, maximize=True)
     chosen: list[tuple[int, int, float]] = []
     for r, c in zip(rows, cols):
         if not present[r, c]:
@@ -176,4 +364,8 @@ def maximum_weight_matching(
         if w <= 0.0 and not allow_zero_weight:
             continue
         chosen.append((lefts[r], rights[c], w))
+    if warm is not None:
+        warm.edges_key = key
+        warm.zero_ok = allow_zero_weight
+        warm.matching = list(chosen)
     return chosen

@@ -132,10 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=1,
                        help=">1 serves through the sharded engine (per-stripe candidate "
                             "builds merged to the identical dense plan)")
-    serve.add_argument("--backend", choices=("serial", "process"), default="serial",
+    serve.add_argument("--backend", choices=("serial", "process", "shard_server"),
+                       default="serial",
                        help="where per-shard candidate jobs run (with --shards)")
     serve.add_argument("--dist-workers", type=int, default=1,
                        help="process-pool size for per-shard jobs (with --backend process)")
+    serve.add_argument("--shard-servers", action="store_true",
+                       help="shorthand for --backend shard_server: long-lived stateful "
+                            "shard processes fed incremental deltas")
+    serve.add_argument("--warm-start", action="store_true",
+                       help="carry Hungarian dual potentials across batches; unchanged "
+                            "components skip the solve (plans unchanged)")
     serve.add_argument("--monitor", metavar="PATH", default=None,
                        help="sample engine metrics on a cadence into a JSONL time series")
     serve.add_argument("--monitor-cadence", type=float, default=2.0,
@@ -384,6 +391,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             max_candidates=args.max_candidates,
             monitor=_monitor_config(args),
         )
+        backend_name = "shard_server" if args.shard_servers else args.backend
         if args.shards > 1:
             from repro.dist import DistConfig, ShardedEngine, component_candidate_assign
 
@@ -392,12 +400,23 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                 DeadReckoningProvider(seed=args.seed),
                 config,
                 assign_fn=assign_fn,
-                candidate_assign_fn=component_candidate_assign(args.algorithm),
+                candidate_assign_fn=component_candidate_assign(
+                    args.algorithm, warm_start=args.warm_start
+                ),
                 dist=DistConfig(
-                    backend=args.backend, workers=args.dist_workers, shards=args.shards
+                    backend=backend_name,
+                    workers=args.dist_workers,
+                    shards=args.shards,
+                    warm_start=args.warm_start,
                 ),
             )
         else:
+            if args.warm_start:
+                from repro.dist import component_candidate_assign
+
+                candidate_fn = component_candidate_assign(
+                    args.algorithm, warm_start=True
+                )
             engine = ServeEngine(
                 workers,
                 DeadReckoningProvider(seed=args.seed),
@@ -418,7 +437,8 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         )
         if args.shards > 1:
             reporter.line(
-                f"shards={args.shards} backend={args.backend} "
+                f"shards={args.shards} backend={backend_name} "
+                f"warm_start={args.warm_start} "
                 f"boundary_workers={engine.boundary_workers_total}"
             )
         rows = result.metrics().as_row()

@@ -24,16 +24,21 @@ from repro.dist.backend import (
     DistConfig,
     ProcessBackend,
     SerialBackend,
+    ShardServerBackend,
     available_cpus,
     resolve_backend,
 )
 from repro.dist.meta import LeafJob, dist_taml_train, run_leaf_job
 from repro.dist.serve import ShardedEngine, component_candidate_assign
+from repro.dist.server import ShardServerError, ShardServerHandle, serve_shard
 from repro.dist.shard import (
     ComponentMatcher,
     ShardCandidateJob,
+    ShardLayout,
+    ShardPlanner,
     ShardSpec,
     ShardStats,
+    WarmMatchCache,
     connected_components,
     make_shards,
     run_shard_candidate_job,
@@ -51,9 +56,15 @@ __all__ = [
     "ProcessBackend",
     "SerialBackend",
     "ShardCandidateJob",
+    "ShardLayout",
+    "ShardPlanner",
+    "ShardServerBackend",
+    "ShardServerError",
+    "ShardServerHandle",
     "ShardSpec",
     "ShardStats",
     "ShardedEngine",
+    "WarmMatchCache",
     "available_cpus",
     "component_candidate_assign",
     "connected_components",
@@ -62,6 +73,7 @@ __all__ = [
     "resolve_backend",
     "run_leaf_job",
     "run_shard_candidate_job",
+    "serve_shard",
     "shard_memberships",
     "sharded_build_candidates",
     "sharded_km_assign",

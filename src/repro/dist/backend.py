@@ -42,29 +42,39 @@ class DistConfig:
     Attributes
     ----------
     backend:
-        ``"serial"`` (inline, the default) or ``"process"``
-        (multiprocessing pool).
+        ``"serial"`` (inline, the default), ``"process"``
+        (multiprocessing pool), or ``"shard_server"`` (one long-lived
+        stateful process per shard, see :mod:`repro.dist.server`).
     workers:
         Degree of parallelism.  On the process backend this is the pool
         size; on the serial backend it is the *gang width* of the
         batched meta-training executor (how many leaf clusters adapt in
         one stacked BPTT pass) — the same knob, because both paths
         partition work identically and are bit-identical (see
-        ``docs/DISTRIBUTED.md``).
+        ``docs/DISTRIBUTED.md``).  Shard servers ignore it: their
+        parallelism is the shard count.
     shards:
         Spatial shard count for candidate generation / serving.
     start_method:
         ``multiprocessing`` start method for the process backend.
+    warm_start:
+        Carry :class:`repro.assignment.hungarian.WarmStartState` across
+        batches in the matcher (see :mod:`repro.dist.shard`).
+    server_log_dir:
+        Where shard servers append their JSONL replay logs; ``None``
+        keeps the logs in coordinator memory.
     """
 
     backend: str = "serial"
     workers: int = 1
     shards: int = 1
     start_method: str = "fork"
+    warm_start: bool = False
+    server_log_dir: str | None = None
 
     def __post_init__(self) -> None:
-        if self.backend not in ("serial", "process"):
-            raise ValueError("backend must be 'serial' or 'process'")
+        if self.backend not in ("serial", "process", "shard_server"):
+            raise ValueError("backend must be 'serial', 'process', or 'shard_server'")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         if self.shards < 1:
@@ -155,6 +165,89 @@ class ProcessBackend:
             pass
 
 
+class ShardServerBackend:
+    """``shards`` long-lived stateful server processes (one per stripe).
+
+    Implements the ordered-map protocol — payload ``i`` executes on
+    server ``i % shards`` via the stateless ``call`` command, all
+    servers working concurrently — and additionally exposes the
+    stateful delta/build command surface of
+    :class:`repro.dist.server.ShardServerHandle` that
+    :class:`repro.dist.serve.ShardedEngine` feeds with per-batch
+    deltas.  Servers spawn lazily on first use and survive across
+    calls; a crashed server is respawned and its state rebuilt by
+    replaying the append-only JSONL command log.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        start_method: str = "fork",
+        log_dir: str | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard server")
+        if start_method not in START_METHODS:
+            raise ValueError(f"start_method must be one of {START_METHODS}")
+        from repro.dist.server import ShardServerHandle
+
+        if log_dir is not None:
+            os.makedirs(log_dir, exist_ok=True)
+        self.shards = shards
+        self.workers = shards
+        self.handles = [
+            ShardServerHandle(
+                shard_id=s,
+                start_method=start_method,
+                log_path=(
+                    os.path.join(log_dir, f"shard-{s}.jsonl")
+                    if log_dir is not None
+                    else None
+                ),
+            )
+            for s in range(shards)
+        ]
+
+    def map_ordered(self, fn: Callable[[T], R], payloads: Sequence[T]) -> list[R]:
+        if not payloads:
+            return []
+        if len(payloads) == 1:
+            return [fn(payloads[0])]
+        from repro.dist.server import scatter
+
+        results: list[R] = [None] * len(payloads)  # type: ignore[list-item]
+        for start in range(0, len(payloads), self.shards):
+            chunk = payloads[start : start + self.shards]
+            handles = self.handles[: len(chunk)]
+            replies = scatter(handles, [("call", (fn, p)) for p in chunk])
+            results[start : start + len(chunk)] = replies
+        return results
+
+    def request(self, shard_id: int, command: str, payload=None):
+        """One stateful command on one server (see :mod:`repro.dist.server`)."""
+        return self.handles[shard_id].request(command, payload)
+
+    def scatter_commands(self, requests: Sequence[tuple[str, object]]) -> list:
+        """One ``(command, payload)`` per server, replies in shard order."""
+        from repro.dist.server import scatter
+
+        return scatter(self.handles, requests)
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(h.restarts for h in self.handles)
+
+    def close(self) -> None:
+        for handle in self.handles:
+            handle.close()
+
+    def __enter__(self) -> "ShardServerBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def resolve_backend(config: DistConfig | None) -> Backend:
     """Build the backend a :class:`DistConfig` asks for.
 
@@ -163,6 +256,10 @@ def resolve_backend(config: DistConfig | None) -> Backend:
     """
     if config is None or config.backend == "serial":
         return SerialBackend()
+    if config.backend == "shard_server":
+        return ShardServerBackend(
+            config.shards, config.start_method, log_dir=config.server_log_dir
+        )
     return ProcessBackend(config.workers, config.start_method)
 
 

@@ -33,18 +33,28 @@ from repro import obs
 from repro.assignment.baselines import km_assign_candidates
 from repro.assignment.plan import AssignmentPlan
 from repro.assignment.ppi import PPIConfig, ppi_assign_candidates
-from repro.dist.backend import Backend, DistConfig, resolve_backend
-from repro.dist.shard import ComponentMatcher, ShardSpec, ShardStats, make_shards, sharded_build_candidates
+from repro.dist.backend import Backend, DistConfig, ShardServerBackend, resolve_backend
+from repro.dist.server import batch_step, encode_snapshot, encode_task
+from repro.dist.shard import (
+    ComponentMatcher,
+    ShardPlanner,
+    ShardStats,
+    WarmMatchCache,
+    same_track,
+    sharded_build_candidates,
+)
 from repro.sc.entities import SpatialTask, Worker, WorkerSnapshot
 from repro.sc.platform import AssignFn, SnapshotProvider
 from repro.serve.engine import CandidateAssignFn, ServeConfig, ServeEngine
 from repro.serve.events import TaskArrival, TaskCancel, TaskDeadline
+from repro.serve.spatial_index import latest_horizon
 
 
 def component_candidate_assign(
     algorithm: str = "ppi",
     config: PPIConfig | None = None,
     backend: Backend | None = None,
+    warm_start: bool = False,
 ) -> CandidateAssignFn:
     """A :data:`CandidateAssignFn` whose KM solves decompose by component.
 
@@ -53,10 +63,16 @@ def component_candidate_assign(
     component decomposition is exact under a unique optimum, see
     :mod:`repro.dist.shard`), with each matching split into its
     connected components — optionally solved across ``backend``.
+
+    ``warm_start`` keeps a :class:`~repro.dist.shard.WarmMatchCache` in
+    the closure: successive batches seed each component's solve with the
+    previous duals, and unchanged components skip the solve outright.
+    The cache is per-closure state, so build one closure per engine.
     """
     if algorithm not in ("ppi", "km"):
         raise ValueError("algorithm must be 'ppi' or 'km'")
-    matcher = ComponentMatcher(backend=backend)
+    warm = WarmMatchCache() if warm_start else None
+    matcher = ComponentMatcher(backend=backend, warm=warm)
 
     def assign(
         tasks: Sequence[SpatialTask],
@@ -64,10 +80,13 @@ def component_candidate_assign(
         t: float,
         candidates: dict[int, list[int]],
     ) -> AssignmentPlan:
+        if warm is not None:
+            warm.begin_round()
         if algorithm == "ppi":
             return ppi_assign_candidates(tasks, snapshots, t, candidates, config, matcher=matcher)
         return km_assign_candidates(tasks, snapshots, t, candidates, matcher=matcher)
 
+    assign.warm_cache = warm  # type: ignore[attr-defined]
     return assign
 
 
@@ -106,9 +125,18 @@ class ShardedEngine(ServeEngine):
         self.backend: Backend = backend if backend is not None else resolve_backend(self.dist)
         #: One :class:`ShardStats` per batch, in batch order.
         self.batch_stats: list[ShardStats] = []
-        self._last_specs: list[ShardSpec] = []
+        self._planner = ShardPlanner(
+            shards=self.dist.shards, cell_km=self.config.index_cell_km
+        )
+        self._last_specs: list = []
         self._last_merge_t: float | None = None
         self._task_col: dict[int, int] = {}
+        # Shard-server mirrors: which task ids and which snapshot
+        # versions (predicted-track array identity) each server holds.
+        self._server_tasks: list[set[int]] = [set() for _ in range(self.dist.shards)]
+        self._server_preds: list[dict[int, object]] = [
+            {} for _ in range(self.dist.shards)
+        ]
 
     # ------------------------------------------------------------------
     def _build_candidates(
@@ -119,21 +147,115 @@ class ShardedEngine(ServeEngine):
     ) -> dict[int, list[int]]:
         cfg = self.config
         stats = ShardStats()
-        graph = sharded_build_candidates(
-            batch_tasks,
-            snapshots,
-            t,
-            shards=self.dist.shards,
-            cell_km=cfg.index_cell_km,
-            max_candidates=cfg.max_candidates,
-            backend=self.backend,
-            stats=stats,
-        )
+        if isinstance(self.backend, ShardServerBackend):
+            graph = self._server_build(batch_tasks, snapshots, t, stats)
+        else:
+            graph = sharded_build_candidates(
+                batch_tasks,
+                snapshots,
+                t,
+                shards=self.dist.shards,
+                cell_km=cfg.index_cell_km,
+                max_candidates=cfg.max_candidates,
+                backend=self.backend,
+                stats=stats,
+                planner=self._planner,
+            )
+            layout = self._planner._layout
+            self._last_specs = list(layout.specs) if layout is not None else []
         self.batch_stats.append(stats)
-        self._last_specs = make_shards(batch_tasks, self.dist.shards, cfg.index_cell_km)
         self._last_merge_t = t
         obs.counter("dist.serve.boundary_workers", stats.n_boundary_workers)
         return graph
+
+    def _server_build(
+        self,
+        batch_tasks: Sequence[SpatialTask],
+        snapshots: Sequence[WorkerSnapshot],
+        t: float,
+        stats: ShardStats,
+    ) -> dict[int, list[int]]:
+        """One batch against the long-lived shard servers.
+
+        The coordinator routes tasks and halo members through the sticky
+        layout, diffs each stripe's working set against the mirror of
+        what its server holds, and ships only the delta — new/expired
+        tasks and snapshots whose predicted track changed (tracked by
+        array identity; the prediction cache shares the array across
+        hits).  One pipelined delta+build round per server per batch.
+        """
+        cfg = self.config
+        layout = self._planner.layout_for(batch_tasks)
+        if layout is None:
+            return {}
+        self._last_specs = list(layout.specs)
+        horizon = latest_horizon(batch_tasks, t)
+        members = self._planner.memberships(layout, snapshots, horizon)
+        n_shards = len(layout)
+
+        owned: list[dict[int, SpatialTask]] = [{} for _ in range(n_shards)]
+        for task in batch_tasks:
+            col = math.floor(task.location.x / layout.cell_km)
+            owned[layout.shard_for_column(col)][task.task_id] = task
+
+        deltas: list[dict] = []
+        builds: list[dict] = []
+        for s in range(n_shards):
+            mirror = self._server_tasks[s]
+            adds = [encode_task(task) for tid, task in owned[s].items() if tid not in mirror]
+            removes = sorted(mirror - owned[s].keys())
+            self._server_tasks[s] = set(owned[s])
+
+            shipped = self._server_preds[s]
+            snap_adds = []
+            member_ids = []
+            for pos in members[s]:
+                snap = snapshots[pos]
+                member_ids.append(snap.worker_id)
+                held = shipped.get(snap.worker_id)
+                if held is None or not same_track(held, snap.predicted_xy):
+                    snap_adds.append(encode_snapshot(snap))
+                    shipped[snap.worker_id] = snap.predicted_xy
+            deltas.append(
+                {
+                    "tasks_add": adds,
+                    "tasks_remove": removes,
+                    "snaps_add": snap_adds,
+                }
+            )
+            builds.append(
+                {
+                    "t": t,
+                    "cell_km": cfg.index_cell_km,
+                    "max_candidates": cfg.max_candidates,
+                    "horizon": horizon,
+                    "member_ids": member_ids,
+                }
+            )
+
+        backend = self.backend
+        graphs = batch_step(backend.handles[:n_shards], deltas, builds)
+
+        import time as _time
+
+        started = _time.perf_counter()
+        merged: dict[int, list[int]] = {}
+        for graph in graphs:
+            merged.update(graph)
+        merge_seconds = _time.perf_counter() - started
+        obs.histogram("dist.merge.seconds", merge_seconds)
+
+        seen: dict[int, int] = {}
+        for posns in members:
+            for pos in posns:
+                seen[pos] = seen.get(pos, 0) + 1
+        stats.n_shards = n_shards
+        stats.tasks_per_shard = [len(o) for o in owned]
+        stats.snapshots_per_shard = [len(p) for p in members]
+        stats.pairs_per_shard = [sum(len(v) for v in g.values()) for g in graphs]
+        stats.n_boundary_workers = sum(1 for c in seen.values() if c > 1)
+        stats.merge_seconds = merge_seconds
+        return merged
 
     def _on_event(self, event) -> None:
         shard_id = self._route(event)

@@ -21,7 +21,10 @@ from repro.assignment.ppi import PPIConfig, ppi_assign_candidates
 from repro.dist import (
     ComponentMatcher,
     ProcessBackend,
+    ShardLayout,
+    ShardPlanner,
     ShardStats,
+    WarmMatchCache,
     connected_components,
     make_shards,
     shard_memberships,
@@ -257,3 +260,55 @@ class TestShardedAssignment:
         sharded = sharded_ppi_assign(tasks, snaps, 0.0, shards=3, cell_km=1.0, stats=stats)
         assert plan_tuples(sharded) == plan_tuples(dense)
         assert stats.n_boundary_workers >= 1
+
+
+class TestShardPlanner:
+    def test_layout_is_a_total_map(self):
+        tasks = [make_task(0, 0.5, 0.5), make_task(1, 10.5, 0.5), make_task(2, 20.5, 0.5)]
+        layout = ShardLayout.from_specs(make_shards(tasks, 3, 1.0), 1.0)
+        seen = {layout.shard_for_column(col) for col in range(-50, 80)}
+        assert seen == {0, 1, 2}
+        # Columns between stripes clamp to the nearest one.
+        assert layout.shard_for_column(-100) == 0
+        assert layout.shard_for_column(100) == 2
+
+    def test_sticky_layout_build_equals_dense_across_batches(self):
+        """The planner keeps batch 1's layout; batch 2's tasks land in
+        different columns, and the build must still equal dense."""
+        rng = np.random.default_rng(9)
+        planner = ShardPlanner(shards=4, cell_km=1.5)
+        for batch in range(4):
+            tasks, snaps = random_workload(rng, n_tasks=25, n_workers=20)
+            got = sharded_build_candidates(
+                tasks, snaps, 0.0, shards=4, cell_km=1.5, planner=planner
+            )
+            assert got == build_candidates(tasks, snaps, 0.0, cell_km=1.5)
+        assert planner._layout is not None
+        assert planner._layout.generation == 1  # never re-laid-out
+
+    def test_halo_cache_hits_on_stable_tracks(self):
+        rng = np.random.default_rng(3)
+        tasks, snaps = random_workload(rng, n_tasks=20, n_workers=15)
+        planner = ShardPlanner(shards=3, cell_km=1.5)
+        for _ in range(3):
+            sharded_build_candidates(tasks, snaps, 0.0, shards=3, cell_km=1.5, planner=planner)
+        assert planner.halo_hits > 0
+        # Identity-keyed: a changed track for one worker is a miss.
+        first_misses = planner.halo_misses
+        moved = list(snaps)
+        moved[0] = make_snapshot(snaps[0].worker_id, rng.uniform(0, 30, (4, 2)))
+        sharded_build_candidates(tasks, moved, 0.0, shards=3, cell_km=1.5, planner=planner)
+        assert planner.halo_misses == first_misses + 1
+
+    def test_planner_with_warm_matcher_plan_equals_dense(self):
+        rng = np.random.default_rng(12)
+        planner = ShardPlanner(shards=3, cell_km=1.5)
+        warm = WarmMatchCache()
+        for _ in range(3):
+            tasks, snaps = random_workload(rng, n_tasks=30, n_workers=25)
+            dense_graph = build_candidates(tasks, snaps, 0.0, cell_km=1.5)
+            dense = ppi_assign_candidates(tasks, snaps, 0.0, dense_graph, PPIConfig())
+            sharded = sharded_ppi_assign(
+                tasks, snaps, 0.0, shards=3, cell_km=1.5, planner=planner, warm=warm
+            )
+            assert plan_tuples(sharded) == plan_tuples(dense)
