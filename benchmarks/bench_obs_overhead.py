@@ -1,11 +1,20 @@
-"""Benchmark: cost of the default (no-op) observability recorder.
+"""Benchmark: cost of observability, from no-op tracing to shard spools.
 
-The acceptance bar for the tracing layer is that the instrumentation
-left in the meta-training inner loop is free when no recorder is
-installed.  This bench A/B-times the shipped (instrumented)
-``repro.meta.maml.adapt`` against a local replica of its body with the
-``obs`` calls stripped, best-of-N over many adapt calls per sample,
-and writes the measured overhead to ``BENCH_obs_overhead.json``.
+Two arms, two bars, both written to ``BENCH_obs_overhead.json``:
+
+* **no-op recorder** — the instrumentation left in the meta-training
+  inner loop must be free when no recorder is installed.  A/B-times the
+  shipped (instrumented) ``repro.meta.maml.adapt`` against a local
+  replica of its body with the ``obs`` calls stripped, best-of-N over
+  many adapt calls per sample (bar: ``MAX_OVERHEAD_PCT``).
+* **distributed tracing** — a sharded shard-server serving run with
+  full cross-process telemetry (trace-context frames, per-shard JSONL
+  spools, round-boundary ``obs_flush``) against the identical untraced
+  run.  Plan parity (``result_signature``) is asserted on every
+  measurement pair — the untraced arm runs the byte-identical 3-tuple
+  wire frames of the pre-observability protocol — and the enabled cost
+  must stay under ``MAX_DIST_OVERHEAD_PCT`` (bar asserted by the
+  ``dist-obs-guard`` in :mod:`benchmarks.check_regression`).
 
 Run standalone::
 
@@ -14,17 +23,22 @@ Run standalone::
 or as an opt-in pytest check (not collected by the default run)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -m obs_bench
+    PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m dist_obs_bench
 """
 
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro import obs
+from repro.assignment.ppi import ppi_assign
+from repro.dist import DistConfig, ShardedEngine, component_candidate_assign
 from repro.meta.learning_task import LearningTask
 from repro.meta.maml import adapt, resolve_fast_path
 from repro.nn import fused
@@ -32,7 +46,16 @@ from repro.nn.losses import mse_loss
 from repro.nn.module import apply_gradient_step, clone_parameters
 from repro.nn.seq2seq import make_mobility_model
 from repro.nn.tensor import Tensor
-from repro.obs import NOOP, get_recorder
+from repro.obs import NOOP, JsonlSink, get_recorder
+from repro.obs.dist import DistObsConfig, list_spools
+from repro.serve import (
+    DeadReckoningProvider,
+    ServeConfig,
+    StreamConfig,
+    make_task_stream,
+    make_worker_fleet,
+    result_signature,
+)
 
 OUTPUT = Path(__file__).parent.parent / "BENCH_obs_overhead.json"
 
@@ -42,6 +65,17 @@ INNER_STEPS = 3
 INNER_LR = 0.1
 #: Acceptance bar: no-op instrumentation must cost under this fraction.
 MAX_OVERHEAD_PCT = 2.0
+
+#: The sharded serving scenario of the distributed arm: loaded enough
+#: that per-round shard-server traffic dominates process start-up, and
+#: square so the sticky stripe layout occupies every shard.
+DIST_SHAPE = {
+    "n_workers": 200, "n_tasks": 400, "t_end": 60.0,
+    "width_km": 25.0, "height_km": 25.0, "seed": 5, "shards": 2,
+}
+#: Acceptance bar for *enabled* distributed tracing on the end-to-end
+#: sharded run (spools + context frames + flushes).
+MAX_DIST_OVERHEAD_PCT = 10.0
 
 
 def _plain_adapt(model, task, loss_fn, inner_lr, inner_steps, support_batch, rng, fast_path):
@@ -130,6 +164,82 @@ def run(calls: int = 40, samples: int = 12) -> dict:
     }
 
 
+def _dist_scenario():
+    cfg = StreamConfig(**{k: v for k, v in DIST_SHAPE.items() if k != "shards"})
+    return make_task_stream(cfg), make_worker_fleet(cfg)
+
+
+def _run_dist_once(tasks, workers, traced: bool, tmp: str) -> tuple[float, str]:
+    """One sharded shard-server serve run; wall seconds + plan signature.
+
+    The timed window covers ``engine.run`` plus (traced arm) recorder
+    finalisation — i.e. everything tracing adds per run: context
+    frames, spool writes, round flushes, and the merge-ready trace
+    file.  Server shutdown is excluded from both arms alike.
+    """
+    obs_cfg = None
+    if traced:
+        obs_cfg = DistObsConfig(spool_dir=str(Path(tmp) / "spools"))
+    engine = ShardedEngine(
+        workers,
+        DeadReckoningProvider(seed=DIST_SHAPE["seed"]),
+        ServeConfig(),
+        assign_fn=ppi_assign,
+        candidate_assign_fn=component_candidate_assign("ppi"),
+        dist=DistConfig(
+            backend="shard_server",
+            shards=DIST_SHAPE["shards"],
+            workers=2,
+            obs=obs_cfg,
+        ),
+    )
+    try:
+        if traced:
+            start = time.perf_counter()
+            with obs.recording(JsonlSink(str(Path(tmp) / "run.trace.jsonl"))):
+                result = engine.run(tasks, 0.0, DIST_SHAPE["t_end"])
+            elapsed = time.perf_counter() - start
+        else:
+            start = time.perf_counter()
+            result = engine.run(tasks, 0.0, DIST_SHAPE["t_end"])
+            elapsed = time.perf_counter() - start
+    finally:
+        engine.close()
+    return elapsed, result_signature(result)
+
+
+def run_dist(samples: int = 3) -> dict:
+    """Best-of-``samples`` untraced vs traced sharded serve, interleaved.
+
+    Every untraced/traced pair must produce the identical
+    ``result_signature`` — tracing that changed the plan would make the
+    timing comparison meaningless (and would be a correctness bug).
+    """
+    assert get_recorder() is NOOP, "bench must start with the no-op recorder installed"
+    tasks, workers = _dist_scenario()
+    best_off = best_on = float("inf")
+    n_spools = 0
+    for _ in range(samples):
+        with tempfile.TemporaryDirectory() as tmp:
+            off_s, off_sig = _run_dist_once(tasks, workers, False, tmp)
+        with tempfile.TemporaryDirectory() as tmp:
+            on_s, on_sig = _run_dist_once(tasks, workers, True, tmp)
+            n_spools = len(list_spools(str(Path(tmp) / "spools")))
+        assert off_sig == on_sig, "tracing changed the serving plan"
+        best_off = min(best_off, off_s)
+        best_on = min(best_on, on_s)
+    overhead_pct = (best_on / best_off - 1.0) * 100.0
+    return {
+        "shape": DIST_SHAPE,
+        "samples": samples,
+        "untraced_s": best_off,
+        "traced_s": best_on,
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": MAX_DIST_OVERHEAD_PCT,
+        "n_spools": n_spools,
+    }
+
+
 @pytest.mark.obs_bench
 def test_noop_recorder_overhead():
     # Host noise can swing a single A/B pass either way; only an
@@ -146,14 +256,25 @@ def test_noop_recorder_overhead():
 
 def main() -> int:
     result = run()
+    result["dist"] = dist = run_dist()
     OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
     print(
         f"instrumented {result['instrumented_s'] * 1e3:7.3f} ms"
         f" | plain {result['plain_s'] * 1e3:7.3f} ms"
         f" | overhead {result['overhead_pct']:+.2f}% (bar {MAX_OVERHEAD_PCT:.1f}%)"
     )
+    print(
+        f"dist traced  {dist['traced_s']:7.3f} s "
+        f" | untraced {dist['untraced_s']:7.3f} s "
+        f" | overhead {dist['overhead_pct']:+.2f}% (bar {MAX_DIST_OVERHEAD_PCT:.1f}%)"
+        f" | spools {dist['n_spools']}"
+    )
     print(f"[saved to {OUTPUT}]")
-    return 0 if result["overhead_pct"] < MAX_OVERHEAD_PCT else 1
+    ok = (
+        result["overhead_pct"] < MAX_OVERHEAD_PCT
+        and dist["overhead_pct"] < MAX_DIST_OVERHEAD_PCT
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

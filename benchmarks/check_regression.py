@@ -1,6 +1,6 @@
 """Guard the benchmarked speedups against performance regressions.
 
-Four baselines are guarded, each behind its own opt-in pytest marker:
+Six baselines are guarded, each behind its own opt-in pytest marker:
 
 * ``fastpath_bench`` — re-runs :mod:`benchmarks.bench_nn_fastpath` and
   compares the measured tape/fused speedup *ratios* against the
@@ -21,7 +21,13 @@ Four baselines are guarded, each behind its own opt-in pytest marker:
   :mod:`benchmarks.bench_serve_scale` and compares the cold/warm
   matcher-solve speedup against the committed
   ``BENCH_serve_scale.json`` (the bench asserts plan parity on every
-  churn step and its own absolute 2x floor before reporting).
+  churn step and its own absolute 2x floor before reporting);
+* ``dist_obs_bench`` — re-runs the distributed arm of
+  :mod:`benchmarks.bench_obs_overhead` and fails when enabled
+  cross-process tracing (context frames, per-shard spools, round
+  flushes) costs more than its absolute bar on a sharded shard-server
+  serve run (the bench asserts traced/untraced plan parity on every
+  measurement pair).
 
 A ratio that drops by more than ``TOLERANCE`` (20%) fails.  Ratios are
 compared rather than absolute times because both arms slow down
@@ -44,6 +50,7 @@ which only looks under ``tests/``)::
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m monitor_bench
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m dist_bench
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m scale_bench
+    PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m dist_obs_bench
 """
 
 from __future__ import annotations
@@ -58,6 +65,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import bench_dist  # noqa: E402
 import bench_monitor_overhead  # noqa: E402
+import bench_obs_overhead  # noqa: E402
 import bench_serve  # noqa: E402
 import bench_serve_scale  # noqa: E402
 from bench_nn_fastpath import OUTPUT, run  # noqa: E402
@@ -264,6 +272,37 @@ def check_serve_scale() -> list[str]:
     return failures
 
 
+def check_dist_obs() -> list[str]:
+    """Re-measure enabled distributed tracing against its absolute bar.
+
+    Like the monitor guard, the bar is absolute (the bench's own
+    ``MAX_DIST_OVERHEAD_PCT``): the guarded quantity is the traced vs
+    untraced ratio of the same sharded engine on the same host, which
+    is load-stable.  The untraced arm sends the byte-identical 3-tuple
+    wire frames of the pre-observability protocol, and the bench
+    asserts ``result_signature`` parity on every pair, so a passing
+    check certifies both the no-op discipline and the enabled ceiling.
+    """
+    bar = bench_obs_overhead.MAX_DIST_OVERHEAD_PCT
+    failures: list[str] = []
+    for attempt in range(2):
+        result = bench_obs_overhead.run_dist()
+        print(
+            f"dist/obs        traced overhead {result['overhead_pct']:+6.2f}%"
+            f" (bar {bar:.0f}%), parity ok,"
+            f" {result['n_spools']} spools"
+        )
+        if result["overhead_pct"] < bar:
+            return []
+        failures = [
+            f"dist/obs: enabled distributed tracing costs "
+            f"{result['overhead_pct']:.2f}% on the sharded serve run (bar: {bar:.0f}%)"
+        ]
+        if attempt == 0:
+            print("over the bar; re-measuring once to rule out host noise")
+    return failures
+
+
 @pytest.mark.fastpath_bench
 def test_fastpath_no_regression():
     failures = check()
@@ -294,9 +333,20 @@ def test_serve_scale_no_regression():
     assert not failures, "warm matcher speedup regressed:\n" + "\n".join(failures)
 
 
+@pytest.mark.dist_obs_bench
+def test_dist_obs_no_regression():
+    failures = check_dist_obs()
+    assert not failures, "distributed tracing overhead regressed:\n" + "\n".join(failures)
+
+
 def main() -> int:
     failures = (
-        check() + check_serve() + check_monitor() + check_dist() + check_serve_scale()
+        check()
+        + check_serve()
+        + check_monitor()
+        + check_dist()
+        + check_serve_scale()
+        + check_dist_obs()
     )
     if failures:
         print("REGRESSION:", *failures, sep="\n  ")

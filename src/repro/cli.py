@@ -12,11 +12,16 @@ Examples::
     python -m repro.cli serve-sim --monitor run.series.jsonl \
         --monitor-cadence 4 --openmetrics run.om
     python -m repro.cli serve-report run.series.jsonl
+    python -m repro.cli serve-sim --shards 4 --shard-servers --trace run.trace.jsonl
+    python -m repro.cli trace-report run.trace.jsonl --distributed
 
 The CLI drives the same pipeline as the benches, at whatever scale the
 flags request.  ``--trace PATH`` records the run as a JSONL span trace
 plus a run manifest (config, seed, git SHA, final metrics) next to it;
-``trace-report`` renders the per-stage breakdown.  ``serve-sim
+``trace-report`` renders the per-stage breakdown.  Sharded traced runs
+additionally spool per-process telemetry into ``<trace>.spools`` and
+``trace-report --distributed`` merges those spools into one timeline
+with a per-round straggler and critical-path breakdown.  ``serve-sim
 --monitor PATH`` samples the engine's metrics on a cadence into a JSONL
 time series (optionally exposing OpenMetrics via ``--openmetrics`` /
 ``--monitor-port``) and ``serve-report`` renders it as a per-phase
@@ -29,11 +34,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro import obs
 from repro.meta.maml import MAMLConfig
-from repro.obs import JsonlSink, Reporter, RunManifest, load_report, manifest_path_for, render_report
+from repro.obs import JsonlSink, Reporter, RunManifest, manifest_path_for, render_report
 from repro.pipeline import (
     ASSIGNMENT_ALGORITHMS,
     AssignmentConfig,
@@ -98,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("trace-report", help="render the per-stage breakdown of a trace file")
     report.add_argument("trace_file", help="JSONL trace written by --trace")
     report.add_argument("--json", action="store_true", help="emit the aggregates as JSON")
+    report.add_argument("--distributed", action="store_true",
+                        help="merge per-process telemetry spools into the timeline and "
+                             "append the per-round straggler/critical-path breakdown")
+    report.add_argument("--spool-dir", metavar="DIR", default=None,
+                        help="spool directory (default: the run manifest's spool_dir, "
+                             "else <trace>.spools)")
 
     serve = sub.add_parser(
         "serve-sim",
@@ -143,6 +155,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--warm-start", action="store_true",
                        help="carry Hungarian dual potentials across batches; unchanged "
                             "components skip the solve (plans unchanged)")
+    serve.add_argument("--spool-dir", metavar="DIR", default=None,
+                       help="per-process telemetry spool directory for distributed runs "
+                            "(default with --trace and a non-serial backend: <trace>.spools)")
+    serve.add_argument("--no-spool", action="store_true",
+                       help="disable worker telemetry spooling even when --trace is set")
+    serve.add_argument("--profile-shards", action="store_true",
+                       help="cadence-sampled cProfile inside each shard server; top "
+                            "hotspots land in the run manifest (needs a spool dir)")
+    serve.add_argument("--profile-every", type=int, default=1,
+                       help="profile every Nth serving round (with --profile-shards)")
+    serve.add_argument("--profile-top", type=int, default=10,
+                       help="hotspots reported per profiled round (with --profile-shards)")
     serve.add_argument("--monitor", metavar="PATH", default=None,
                        help="sample engine metrics on a cadence into a JSONL time series")
     serve.add_argument("--monitor-cadence", type=float, default=2.0,
@@ -216,6 +240,8 @@ def _observed(
     With ``--trace`` the body executes inside a recording session whose
     spans stream to the JSONL sink, and a run manifest (flags, seed,
     git SHA, the metrics ``body`` returns) lands next to the trace.
+    The body may deposit distributed-run extras on ``args``
+    (``_spool_dir``, ``_profile``) for the manifest to pick up.
     """
     trace = getattr(args, "trace", None)
     if not trace:
@@ -228,9 +254,12 @@ def _observed(
     )
     with obs.recording(JsonlSink(trace)):
         metrics = body()
-    manifest_file = manifest.finalize(metrics=metrics, trace_path=trace).write(
-        manifest_path_for(trace)
-    )
+    manifest_file = manifest.finalize(
+        metrics=metrics,
+        trace_path=trace,
+        spool_dir=getattr(args, "_spool_dir", None),
+        profile=getattr(args, "_profile", None),
+    ).write(manifest_path_for(trace))
     reporter.add("trace", str(trace))
     reporter.add("manifest", str(manifest_file))
     reporter.line(f"[trace: {trace}]")
@@ -392,9 +421,28 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             monitor=_monitor_config(args),
         )
         backend_name = "shard_server" if args.shard_servers else args.backend
+        dist_obs = None
         if args.shards > 1:
             from repro.dist import DistConfig, ShardedEngine, component_candidate_assign
+            from repro.obs.dist import DistObsConfig
 
+            spool_dir = args.spool_dir
+            if (
+                spool_dir is None
+                and args.trace
+                and backend_name != "serial"
+                and not args.no_spool
+            ):
+                spool_dir = f"{args.trace}.spools"
+            if args.profile_shards and spool_dir is None:
+                raise SystemExit("--profile-shards needs a spool dir (--spool-dir or --trace)")
+            if spool_dir is not None and not args.no_spool:
+                dist_obs = DistObsConfig(
+                    spool_dir=spool_dir,
+                    profile=args.profile_shards,
+                    profile_every=args.profile_every,
+                    profile_top_n=args.profile_top,
+                )
             engine = ShardedEngine(
                 workers,
                 DeadReckoningProvider(seed=args.seed),
@@ -408,6 +456,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                     workers=args.dist_workers,
                     shards=args.shards,
                     warm_start=args.warm_start,
+                    obs=dist_obs,
                 ),
             )
         else:
@@ -441,6 +490,12 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                 f"warm_start={args.warm_start} "
                 f"boundary_workers={engine.boundary_workers_total}"
             )
+        if dist_obs is not None:
+            args._spool_dir = dist_obs.spool_dir
+            if getattr(engine, "profile_hotspots", None):
+                args._profile = engine.profile_hotspots
+            reporter.add("spool_dir", dist_obs.spool_dir)
+            reporter.line(f"[spools: {dist_obs.spool_dir}]")
         rows = result.metrics().as_row()
         rows.update(
             n_expired=float(result.n_expired),
@@ -469,8 +524,42 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _find_spool_dir(trace_file: str) -> str | None:
+    """Locate the spool directory paired with a trace: the run
+    manifest's ``spool_dir`` when recorded, else ``<trace>.spools``."""
+    from repro.obs import read_manifest
+
+    manifest_path = manifest_path_for(trace_file)
+    if manifest_path.exists():
+        try:
+            recorded = read_manifest(manifest_path).spool_dir
+        except ValueError:
+            recorded = None
+        if recorded and Path(recorded).is_dir():
+            return recorded
+    default = f"{trace_file}.spools"
+    return default if Path(default).is_dir() else None
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
-    report = load_report(args.trace_file)
+    from repro.obs import aggregate, read_jsonl
+
+    records = read_jsonl(args.trace_file)
+    spool_dir = None
+    spool_note = None
+    if args.distributed:
+        from repro.obs import merge_spools
+
+        spool_dir = args.spool_dir or _find_spool_dir(args.trace_file)
+        if spool_dir is not None and Path(spool_dir).is_dir():
+            records = merge_spools(records, spool_dir)
+            spool_note = f"[spools: {spool_dir}]"
+        else:
+            spool_note = (
+                "[no spool dir found; coordinator spans only "
+                "(pass --spool-dir or rerun serve-sim with --trace)]"
+            )
+    report = aggregate(records)
     if args.json:
         payload = {
             "trace": args.trace_file,
@@ -488,9 +577,38 @@ def cmd_trace_report(args: argparse.Namespace) -> int:
             ],
             "metrics": report.metrics,
         }
+        if args.distributed:
+            from repro.obs import attribute_rounds, replay_seconds
+
+            payload["distributed"] = {
+                "spool_dir": spool_dir,
+                "replay_s": replay_seconds(records),
+                "rounds": [
+                    {
+                        "round": att.round,
+                        "t": att.t,
+                        "wall_s": att.wall_s,
+                        "prepare_s": att.prepare_s,
+                        "solve_s": att.solve_s,
+                        "merge_s": att.merge_s,
+                        "straggler": att.straggler,
+                        "critical_busy_s": att.critical_busy_s,
+                        "shard_busy_s": {str(k): v for k, v in att.shard_busy_s.items()},
+                        "shard_replay_s": {str(k): v for k, v in att.shard_replay_s.items()},
+                    }
+                    for att in attribute_rounds(records)
+                ],
+            }
         print(json.dumps(payload, indent=2))
     else:
         print(render_report(report, title=f"trace report: {args.trace_file}"))
+        if args.distributed:
+            from repro.obs import render_distributed_report
+
+            if spool_note:
+                print(spool_note)
+            print()
+            print(render_distributed_report(records))
     return 0
 
 

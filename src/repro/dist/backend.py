@@ -25,6 +25,8 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
 
+from repro.obs.dist import DistObsConfig, current_context, traced_job
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -63,6 +65,11 @@ class DistConfig:
     server_log_dir:
         Where shard servers append their JSONL replay logs; ``None``
         keeps the logs in coordinator memory.
+    obs:
+        Distributed-observability knobs
+        (:class:`repro.obs.dist.DistObsConfig`): per-process telemetry
+        spool directory and optional in-server profiling.  ``None``
+        (the default) keeps workers telemetry-free.
     """
 
     backend: str = "serial"
@@ -71,6 +78,7 @@ class DistConfig:
     start_method: str = "fork"
     warm_start: bool = False
     server_log_dir: str | None = None
+    obs: DistObsConfig | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "process", "shard_server"):
@@ -124,13 +132,19 @@ class ProcessBackend:
     latency attribution per job honest.
     """
 
-    def __init__(self, workers: int, start_method: str = "fork") -> None:
+    def __init__(
+        self,
+        workers: int,
+        start_method: str = "fork",
+        obs: DistObsConfig | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if start_method not in START_METHODS:
             raise ValueError(f"start_method must be one of {START_METHODS}")
         self.workers = workers
         self.start_method = start_method
+        self.obs = obs
         self._pool: multiprocessing.pool.Pool | None = None
 
     def _ensure_pool(self) -> "multiprocessing.pool.Pool":
@@ -144,6 +158,12 @@ class ProcessBackend:
             return []
         if len(payloads) == 1:  # no point shipping a single job out
             return [fn(payloads[0])]
+        if self.obs is not None and self.obs.enabled:
+            ctx = current_context()
+            if ctx is not None:
+                cfg = self.obs.to_wire()
+                bundles = [(fn, p, ctx, cfg) for p in payloads]
+                return self._ensure_pool().map(traced_job, bundles, chunksize=1)
         return self._ensure_pool().map(fn, payloads, chunksize=1)
 
     def close(self) -> None:
@@ -184,6 +204,7 @@ class ShardServerBackend:
         shards: int,
         start_method: str = "fork",
         log_dir: str | None = None,
+        obs: DistObsConfig | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard server")
@@ -193,8 +214,11 @@ class ShardServerBackend:
 
         if log_dir is not None:
             os.makedirs(log_dir, exist_ok=True)
+        if obs is not None and obs.spool_dir is not None:
+            os.makedirs(obs.spool_dir, exist_ok=True)
         self.shards = shards
         self.workers = shards
+        self.obs = obs
         self.handles = [
             ShardServerHandle(
                 shard_id=s,
@@ -204,6 +228,7 @@ class ShardServerBackend:
                     if log_dir is not None
                     else None
                 ),
+                obs=obs.to_wire() if obs is not None else None,
             )
             for s in range(shards)
         ]
@@ -258,9 +283,12 @@ def resolve_backend(config: DistConfig | None) -> Backend:
         return SerialBackend()
     if config.backend == "shard_server":
         return ShardServerBackend(
-            config.shards, config.start_method, log_dir=config.server_log_dir
+            config.shards,
+            config.start_method,
+            log_dir=config.server_log_dir,
+            obs=config.obs,
         )
-    return ProcessBackend(config.workers, config.start_method)
+    return ProcessBackend(config.workers, config.start_method, obs=config.obs)
 
 
 def available_cpus() -> int:

@@ -12,9 +12,11 @@ untouched and overrides exactly two hooks:
   unchanged at any shard count;
 * ``_on_event`` — events carrying a location are routed to the stripe
   that owns (or is nearest to) their cell column under the most recent
-  batch's shard layout, feeding per-shard ``dist.shard.{sid}.events``
-  counters and ``dist.shard.{sid}.lag_s`` histograms (simulation-time
-  staleness of the shard's last merged plan when the event lands).
+  batch's shard layout, feeding label-style per-shard
+  ``dist.shard.events{shard=sid}`` counters and
+  ``dist.shard.lag_s{shard=sid}`` histograms (simulation-time staleness
+  of the shard's last merged plan when the event lands); the dotted
+  ``dist.shard.{sid}.*`` forms are kept as deprecated compat aliases.
 
 Boundary workers — snapshots whose halo spans more than one stripe —
 are counted per batch in :attr:`ShardedEngine.batch_stats`; they are the
@@ -26,10 +28,19 @@ ownership is disjoint).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import replace
 from typing import Sequence
 
 from repro import obs
+from repro.obs.dist import (
+    MERGE_SPAN,
+    PREPARE_SPAN,
+    ROUND_SPAN,
+    SOLVE_SPAN,
+    current_context,
+)
+from repro.obs.metrics import labelled
 from repro.assignment.baselines import km_assign_candidates
 from repro.assignment.plan import AssignmentPlan
 from repro.assignment.ppi import PPIConfig, ppi_assign_candidates
@@ -137,6 +148,11 @@ class ShardedEngine(ServeEngine):
         self._server_preds: list[dict[int, object]] = [
             {} for _ in range(self.dist.shards)
         ]
+        #: serving-round index (one per shard-server build).
+        self._round = 0
+        #: per-shard profiler hotspots harvested from ``obs_flush``
+        #: replies, in arrival order (see :class:`repro.obs.dist.DistObsConfig`).
+        self.profile_hotspots: list[dict] = []
 
     # ------------------------------------------------------------------
     def _build_candidates(
@@ -185,88 +201,148 @@ class ShardedEngine(ServeEngine):
         hits).  One pipelined delta+build round per server per batch.
         """
         cfg = self.config
-        layout = self._planner.layout_for(batch_tasks)
-        if layout is None:
-            return {}
-        self._last_specs = list(layout.specs)
-        horizon = latest_horizon(batch_tasks, t)
-        members = self._planner.memberships(layout, snapshots, horizon)
-        n_shards = len(layout)
+        round_idx = self._round
+        self._round += 1
+        with obs.span(ROUND_SPAN, round=round_idx, t=t):
+            with obs.span(PREPARE_SPAN):
+                layout = self._planner.layout_for(batch_tasks)
+                if layout is None:
+                    return {}
+                self._last_specs = list(layout.specs)
+                horizon = latest_horizon(batch_tasks, t)
+                members = self._planner.memberships(layout, snapshots, horizon)
+                n_shards = len(layout)
 
-        owned: list[dict[int, SpatialTask]] = [{} for _ in range(n_shards)]
-        for task in batch_tasks:
-            col = math.floor(task.location.x / layout.cell_km)
-            owned[layout.shard_for_column(col)][task.task_id] = task
+                owned: list[dict[int, SpatialTask]] = [{} for _ in range(n_shards)]
+                for task in batch_tasks:
+                    col = math.floor(task.location.x / layout.cell_km)
+                    owned[layout.shard_for_column(col)][task.task_id] = task
 
-        deltas: list[dict] = []
-        builds: list[dict] = []
-        for s in range(n_shards):
-            mirror = self._server_tasks[s]
-            adds = [encode_task(task) for tid, task in owned[s].items() if tid not in mirror]
-            removes = sorted(mirror - owned[s].keys())
-            self._server_tasks[s] = set(owned[s])
+                deltas: list[dict] = []
+                builds: list[dict] = []
+                for s in range(n_shards):
+                    mirror = self._server_tasks[s]
+                    adds = [
+                        encode_task(task)
+                        for tid, task in owned[s].items()
+                        if tid not in mirror
+                    ]
+                    removes = sorted(mirror - owned[s].keys())
+                    self._server_tasks[s] = set(owned[s])
 
-            shipped = self._server_preds[s]
-            snap_adds = []
-            member_ids = []
-            for pos in members[s]:
-                snap = snapshots[pos]
-                member_ids.append(snap.worker_id)
-                held = shipped.get(snap.worker_id)
-                if held is None or not same_track(held, snap.predicted_xy):
-                    snap_adds.append(encode_snapshot(snap))
-                    shipped[snap.worker_id] = snap.predicted_xy
-            deltas.append(
-                {
-                    "tasks_add": adds,
-                    "tasks_remove": removes,
-                    "snaps_add": snap_adds,
-                }
-            )
-            builds.append(
-                {
-                    "t": t,
-                    "cell_km": cfg.index_cell_km,
-                    "max_candidates": cfg.max_candidates,
-                    "horizon": horizon,
-                    "member_ids": member_ids,
-                }
-            )
+                    shipped = self._server_preds[s]
+                    snap_adds = []
+                    member_ids = []
+                    for pos in members[s]:
+                        snap = snapshots[pos]
+                        member_ids.append(snap.worker_id)
+                        held = shipped.get(snap.worker_id)
+                        if held is None or not same_track(held, snap.predicted_xy):
+                            snap_adds.append(encode_snapshot(snap))
+                            shipped[snap.worker_id] = snap.predicted_xy
+                    deltas.append(
+                        {
+                            "tasks_add": adds,
+                            "tasks_remove": removes,
+                            "snaps_add": snap_adds,
+                        }
+                    )
+                    builds.append(
+                        {
+                            "t": t,
+                            "cell_km": cfg.index_cell_km,
+                            "max_candidates": cfg.max_candidates,
+                            "horizon": horizon,
+                            "member_ids": member_ids,
+                        }
+                    )
 
-        backend = self.backend
-        graphs = batch_step(backend.handles[:n_shards], deltas, builds)
+            backend = self.backend
+            with obs.span(SOLVE_SPAN, shards=n_shards):
+                solve_started = time.perf_counter()
+                graphs = batch_step(backend.handles[:n_shards], deltas, builds)
+                solve_seconds = time.perf_counter() - solve_started
 
-        import time as _time
+            with obs.span(MERGE_SPAN):
+                started = time.perf_counter()
+                merged: dict[int, list[int]] = {}
+                for graph in graphs:
+                    merged.update(graph)
+                merge_seconds = time.perf_counter() - started
+            obs.histogram("dist.merge.seconds", merge_seconds)
 
-        started = _time.perf_counter()
-        merged: dict[int, list[int]] = {}
-        for graph in graphs:
-            merged.update(graph)
-        merge_seconds = _time.perf_counter() - started
-        obs.histogram("dist.merge.seconds", merge_seconds)
-
-        seen: dict[int, int] = {}
-        for posns in members:
-            for pos in posns:
-                seen[pos] = seen.get(pos, 0) + 1
-        stats.n_shards = n_shards
-        stats.tasks_per_shard = [len(o) for o in owned]
-        stats.snapshots_per_shard = [len(p) for p in members]
-        stats.pairs_per_shard = [sum(len(v) for v in g.values()) for g in graphs]
-        stats.n_boundary_workers = sum(1 for c in seen.values() if c > 1)
-        stats.merge_seconds = merge_seconds
+            seen: dict[int, int] = {}
+            for posns in members:
+                for pos in posns:
+                    seen[pos] = seen.get(pos, 0) + 1
+            stats.n_shards = n_shards
+            stats.tasks_per_shard = [len(o) for o in owned]
+            stats.snapshots_per_shard = [len(p) for p in members]
+            stats.pairs_per_shard = [sum(len(v) for v in g.values()) for g in graphs]
+            stats.n_boundary_workers = sum(1 for c in seen.values() if c > 1)
+            stats.merge_seconds = merge_seconds
+            self._flush_telemetry(round_idx, solve_seconds, n_shards)
         return merged
+
+    def _flush_telemetry(self, round_idx: int, solve_seconds: float, n_shards: int) -> None:
+        """Round boundary: flush server spools, attribute the stragglers.
+
+        Only runs when distributed spooling is configured *and* a trace
+        is active (workers install telemetry lazily off the propagated
+        context, so flushing an untraced run would be a wasted
+        round-trip).  Flush replies carry each server's busy seconds
+        for the round; the gap to the solve window is that shard's IPC
+        wait, and the busiest shard is the round's straggler.
+        """
+        dist_obs = self.dist.obs
+        if dist_obs is None or not dist_obs.enabled or current_context() is None:
+            return
+        # Flush every server (not just this round's active stripes) so
+        # spools stay durable even for shards the layout left idle.
+        replies = self.backend.scatter_commands(
+            [("obs_flush", None)] * len(self.backend.handles)
+        )
+        busy: dict[int, float] = {}
+        for shard_id, reply in enumerate(replies):
+            if not isinstance(reply, dict):
+                continue
+            busy[shard_id] = float(reply.get("busy_s") or 0.0)
+            if reply.get("profile"):
+                self.profile_hotspots.append(
+                    {
+                        "round": round_idx,
+                        "shard": shard_id,
+                        "pid": reply.get("pid"),
+                        "top": reply["profile"],
+                    }
+                )
+        if not busy:
+            return
+        straggler = max(busy, key=lambda s: busy[s])
+        for shard_id, busy_s in busy.items():
+            obs.gauge(labelled("dist.shard.busy_s", shard=shard_id), busy_s)
+            obs.gauge(
+                labelled("dist.shard.ipc_wait_s", shard=shard_id),
+                max(solve_seconds - busy_s, 0.0),
+            )
+        obs.gauge("dist.shard.straggler", straggler)
+        obs.counter(labelled("dist.shard.straggler_rounds", shard=straggler))
 
     def _on_event(self, event) -> None:
         shard_id = self._route(event)
         if shard_id is None:
             obs.counter("dist.events.unrouted")
             return
+        # Label-style names keep one metric family per base name at any
+        # shard count; the dotted forms are deprecated compat aliases
+        # (see docs/DISTRIBUTED.md) kept until downstream dashboards
+        # move over.
+        obs.counter(labelled("dist.shard.events", shard=shard_id))
         obs.counter(f"dist.shard.{shard_id}.events")
         if self._last_merge_t is not None:
-            obs.histogram(
-                f"dist.shard.{shard_id}.lag_s", max(event.time - self._last_merge_t, 0.0)
-            )
+            lag = max(event.time - self._last_merge_t, 0.0)
+            obs.histogram(labelled("dist.shard.lag_s", shard=shard_id), lag)
+            obs.histogram(f"dist.shard.{shard_id}.lag_s", lag)
 
     # ------------------------------------------------------------------
     def _route(self, event) -> int | None:

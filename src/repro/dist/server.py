@@ -13,7 +13,10 @@ identity check on the coordinator).
 Protocol
 --------
 One duplex ``multiprocessing`` pipe per server.  Requests are
-``(seq, command, payload)`` tuples; responses ``(seq, status, result)``.
+``(seq, command, payload)`` tuples — plus an optional fourth element,
+the :mod:`repro.obs.dist` trace context, appended **only** when the
+coordinator is tracing, so untraced frames stay byte-identical to the
+three-tuple wire format.  Responses are ``(seq, status, result)``.
 Commands are looked up in a fixed registry and run against the server's
 state dict:
 
@@ -23,7 +26,17 @@ state dict:
   the stripe's candidate graph;
 * ``call`` — stateless passthrough executing a pickled function (the
   generic :meth:`Backend.map_ordered` escape hatch);
+* ``obs_flush`` — round boundary for the server's telemetry spool:
+  flushes buffered spans to disk and returns the round's per-command
+  busy seconds (plus profiler hotspots when profiling is on);
 * ``reset`` / ``ping`` / ``crash`` — lifecycle and test hooks.
+
+When the coordinator's :class:`~repro.dist.backend.DistConfig` carries
+a :class:`~repro.obs.dist.DistObsConfig` with a spool directory, each
+server lazily installs a :class:`~repro.obs.dist.WorkerTelemetry` on
+the first traced frame it sees and records one span per command,
+parented (via the propagated context) under the coordinator span that
+issued it.
 
 Crash recovery
 --------------
@@ -42,11 +55,13 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import time
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.geo.point import Point
+from repro.obs import dist as obs_dist
 from repro.sc.entities import SpatialTask, WorkerSnapshot
 from repro.serve.spatial_index import build_candidates
 
@@ -173,9 +188,18 @@ _COMMANDS: dict[str, Callable[[dict, Any], Any]] = {
 LOGGED_COMMANDS = frozenset({"apply", "reset"})
 
 
-def serve_shard(conn, shard_id: int) -> None:
-    """The server process main loop: recv, dispatch, respond."""
+def serve_shard(conn, shard_id: int, obs_cfg: dict | None = None) -> None:
+    """The server process main loop: recv, dispatch, respond.
+
+    ``obs_cfg`` is the wire form of :class:`repro.obs.dist.DistObsConfig`;
+    with a spool directory set, the first frame carrying a trace
+    context installs a :class:`~repro.obs.dist.WorkerTelemetry` whose
+    recorder spools one span per command.  Untraced frames (and
+    untraced servers) run the exact pre-observability dispatch.
+    """
     state: dict = {"tasks": {}, "snaps": {}}
+    telemetry: obs_dist.WorkerTelemetry | None = None
+    spooling = obs_cfg is not None and obs_cfg.get("spool_dir")
     while True:
         try:
             message = conn.recv()
@@ -183,12 +207,32 @@ def serve_shard(conn, shard_id: int) -> None:
             break
         if message is None:
             break
-        seq, command, payload = message
+        seq, command, payload, *rest = message
+        ctx = rest[0] if rest else None
         try:
-            result = _COMMANDS[command](state, payload)
+            if spooling and ctx is not None:
+                if telemetry is None:
+                    telemetry = obs_dist.WorkerTelemetry(
+                        obs_cfg, role="shard", ident=shard_id, trace_id=ctx["trace"]
+                    )
+                if command == "obs_flush":
+                    result = telemetry.flush()
+                else:
+                    started = time.perf_counter()
+                    with telemetry.command_span(
+                        obs_dist.CMD_SPAN_PREFIX + command, ctx, shard=shard_id
+                    ):
+                        result = _COMMANDS[command](state, payload)
+                    telemetry.account(command, time.perf_counter() - started)
+            elif command == "obs_flush":
+                result = {"round": None, "pid": os.getpid(), "busy_s": 0.0, "by_command": {}}
+            else:
+                result = _COMMANDS[command](state, payload)
             conn.send((seq, "ok", result))
         except Exception as exc:  # report, don't die: the state survives
             conn.send((seq, "err", f"{type(exc).__name__}: {exc}"))
+    if telemetry is not None:
+        telemetry.close()
     conn.close()
 
 
@@ -203,10 +247,14 @@ class ShardServerHandle:
         shard_id: int,
         start_method: str = "fork",
         log_path: str | None = None,
+        obs: dict | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.start_method = start_method
         self.log_path = log_path
+        #: wire form of :class:`repro.obs.dist.DistObsConfig` (or None),
+        #: handed to the server process at every (re)spawn.
+        self.obs = obs
         self._log: list[str] = []
         self._proc: multiprocessing.Process | None = None
         self._conn = None
@@ -224,7 +272,7 @@ class ShardServerHandle:
         ctx = multiprocessing.get_context(self.start_method)
         parent, child = ctx.Pipe()
         proc = ctx.Process(
-            target=serve_shard, args=(child, self.shard_id), daemon=True
+            target=serve_shard, args=(child, self.shard_id, self.obs), daemon=True
         )
         proc.start()
         child.close()
@@ -258,13 +306,23 @@ class ShardServerHandle:
         self._spawn()
         for line in self._log:
             entry = json.loads(line)
-            self._roundtrip(entry["command"], entry["payload"])
+            # Replayed mutations are marked in the trace context so the
+            # merged timeline can attribute crash-recovery cost.
+            self._roundtrip(entry["command"], entry["payload"], replay=True)
 
     # -- request/response ----------------------------------------------
-    def _roundtrip(self, command: str, payload: Any) -> Any:
+    def _send_frame(self, seq: int, command: str, payload: Any, replay: bool = False) -> None:
+        """One request frame; trace context appended only when tracing."""
+        ctx = obs_dist.current_context(replay=replay)
+        if ctx is None:
+            self._conn.send((seq, command, payload))
+        else:
+            self._conn.send((seq, command, payload, ctx))
+
+    def _roundtrip(self, command: str, payload: Any, replay: bool = False) -> Any:
         self._seq += 1
         seq = self._seq
-        self._conn.send((seq, command, payload))
+        self._send_frame(seq, command, payload, replay=replay)
         reply_seq, status, result = self._conn.recv()
         if reply_seq != seq:
             raise ShardServerError(
@@ -300,11 +358,11 @@ class ShardServerHandle:
             self._append_log(command, payload)
         self._seq += 1
         try:
-            self._conn.send((self._seq, command, payload))
+            self._send_frame(self._seq, command, payload)
         except (BrokenPipeError, OSError):
             self._respawn_and_replay()
             self._seq += 1
-            self._conn.send((self._seq, command, payload))
+            self._send_frame(self._seq, command, payload)
         return (self._epoch, self._seq)
 
     def recv_async(self, token: tuple[int, int], command: str, payload: Any = None) -> Any:

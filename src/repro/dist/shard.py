@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
+from repro.obs.metrics import labelled
 from repro.assignment.baselines import km_assign_candidates
 from repro.assignment.hungarian import WarmStartState, maximum_weight_matching
 from repro.assignment.plan import AssignmentPlan
@@ -376,6 +377,8 @@ def _serial_planner_build(
         stats.n_boundary_workers = sum(1 for c in seen.values() if c > 1)
         stats.merge_seconds = 0.0
         for s in range(len(layout.specs)):
+            # Label-style family plus the deprecated dotted alias.
+            obs.counter(labelled("dist.shard.pairs", shard=s), pairs[s])
             obs.counter(f"dist.shard.{s}.pairs", pairs[s])
     return merged
 
@@ -469,6 +472,7 @@ def sharded_build_candidates(
         stats.n_boundary_workers = sum(1 for c in seen.values() if c > 1)
         stats.merge_seconds = merge_seconds
         for s in range(len(specs)):
+            obs.counter(labelled("dist.shard.pairs", shard=s), stats.pairs_per_shard[s])
             obs.counter(f"dist.shard.{s}.pairs", stats.pairs_per_shard[s])
     return merged
 

@@ -28,9 +28,26 @@ from repro.obs.calibration import (
     PairOutcome,
 )
 from repro.obs.dashboard import aggregate_series, load_serve_report, render_serve_report
+from repro.obs.dist import (
+    DistObsConfig,
+    RoundAttribution,
+    attribute_rounds,
+    current_context,
+    merge_spools,
+    render_distributed_report,
+    replay_seconds,
+)
 from repro.obs.format import Reporter
 from repro.obs.manifest import RunManifest, git_sha, manifest_path_for, read_manifest
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labelled,
+    percentile,
+    split_labels,
+)
 from repro.obs.monitor import MetricsMonitor, MonitorConfig, read_series
 from repro.obs.openmetrics import (
     ExpositionServer,
@@ -50,6 +67,7 @@ from repro.obs.recorder import (
     gauge,
     get_recorder,
     histogram,
+    new_trace_id,
     recording,
     set_recorder,
     span,
@@ -66,6 +84,13 @@ __all__ = [
     "aggregate_series",
     "load_serve_report",
     "render_serve_report",
+    "DistObsConfig",
+    "RoundAttribution",
+    "attribute_rounds",
+    "current_context",
+    "merge_spools",
+    "render_distributed_report",
+    "replay_seconds",
     "Reporter",
     "RunManifest",
     "git_sha",
@@ -75,7 +100,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "labelled",
     "percentile",
+    "split_labels",
     "MetricsMonitor",
     "MonitorConfig",
     "read_series",
@@ -94,6 +121,7 @@ __all__ = [
     "gauge",
     "get_recorder",
     "histogram",
+    "new_trace_id",
     "recording",
     "set_recorder",
     "span",

@@ -11,7 +11,10 @@ aggregated per phase:
 * gauges: per-phase mean of the sampled values plus the final value;
 * histograms: per-phase merged count/mean/max of the window summaries;
 * calibration: reliability bins, Brier/ECE, and drift events, rendered
-  from the series' ``calibration`` and ``drift`` records.
+  from the series' ``calibration`` and ``drift`` records;
+* distributed runs: label-style ``dist.shard.*{shard=N}`` series
+  (see :func:`repro.obs.metrics.labelled`) pivot into one per-shard
+  table instead of one dashboard row per shard-metric pair.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.metrics import split_labels
 from repro.obs.monitor import read_series
 
 _SPARK = "▁▂▃▄▅▆▇█"
@@ -62,6 +66,26 @@ class Phase:
             total += w.get("sum", 0.0)
             peak = w["max"] if peak is None else max(peak, w["max"])
         return {"count": count, "sum": total, "mean": total / count if count else 0.0, "max": peak}
+
+
+def _shard_sort_key(shard: str) -> tuple:
+    return (0, int(shard)) if shard.isdigit() else (1, shard)
+
+
+def per_shard_metrics(counters: dict, gauges: dict) -> dict[str, dict[str, float]]:
+    """Pivot label-style ``...{shard=N}`` series into one row per shard.
+
+    Returns ``{shard: {base_name: value}}`` over the union of the final
+    counter totals and gauge values; metrics without a ``shard`` label
+    are ignored.  Backs the dashboard's distributed section.
+    """
+    table: dict[str, dict[str, float]] = {}
+    for name, value in {**counters, **gauges}.items():
+        base, labels = split_labels(name)
+        shard = labels.get("shard")
+        if shard is not None:
+            table.setdefault(shard, {})[base] = value
+    return table
 
 
 _PHASE_NAMES = {3: ("ramp-up", "steady", "drain")}
@@ -113,6 +137,9 @@ def aggregate_series(records: list[dict], n_phases: int = 3) -> dict:
         ],
         "totals": dict(samples[-1].get("counters", {})) if samples else {},
         "final_gauges": dict(samples[-1].get("gauges", {})) if samples else {},
+        "per_shard": per_shard_metrics(
+            samples[-1].get("counters", {}), samples[-1].get("gauges", {})
+        ) if samples else {},
         "drift_events": drift,
         "calibration": {k: v for k, v in calibration.items() if k not in ("type", "wall_unix")}
         if calibration else None,
@@ -169,6 +196,24 @@ def render_serve_report(records: list[dict], title: str = "serve report",
                 h = p["histograms"][name]
                 cells += f"{h['count']:>5d}|{h['mean']:<6.3g}" if h["count"] else f"{'-':>12}"
             lines.append(f"{name:<34}{cells}")
+
+    shards = agg.get("per_shard") or {}
+    if shards:
+        bases = sorted({b for row in shards.values() for b in row})
+        prefix = "dist.shard."
+        strip = all(b.startswith(prefix) for b in bases)
+        cols = [b.removeprefix(prefix) if strip else b for b in bases]
+        lines += ["", "per-shard metrics (final counters / gauges)",
+                  "-------------------------------------------"]
+        widths = [max(12, len(c) + 2) for c in cols]
+        lines.append(f"{'shard':<8}" + "".join(f"{c:>{w}}" for c, w in zip(cols, widths)))
+        for shard in sorted(shards, key=_shard_sort_key):
+            row = shards[shard]
+            cells = "".join(
+                f"{row[b]:>{w}g}" if b in row else f"{'-':>{w}}"
+                for b, w in zip(bases, widths)
+            )
+            lines.append(f"{shard:<8}{cells}")
 
     cal = agg["calibration"]
     if cal:

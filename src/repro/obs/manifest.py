@@ -52,6 +52,12 @@ class RunManifest:
     duration_s: float | None = None
     metrics: dict = field(default_factory=dict)
     trace_path: str | None = None
+    #: Where per-process telemetry spools were written (distributed
+    #: runs only; see :mod:`repro.obs.dist`).
+    spool_dir: str | None = None
+    #: Per-shard profiler hotspots harvested from shard servers
+    #: (``DistObsConfig.profile``), newest rounds last.
+    profile: list = field(default_factory=list)
 
     @classmethod
     def start(
@@ -74,7 +80,13 @@ class RunManifest:
             started_unix=time.time(),
         )
 
-    def finalize(self, metrics: dict | None = None, trace_path: str | Path | None = None) -> "RunManifest":
+    def finalize(
+        self,
+        metrics: dict | None = None,
+        trace_path: str | Path | None = None,
+        spool_dir: str | Path | None = None,
+        profile: list | None = None,
+    ) -> "RunManifest":
         """Record the run's outcome; returns self for chaining."""
         self.finished_unix = time.time()
         self.duration_s = self.finished_unix - self.started_unix
@@ -82,6 +94,10 @@ class RunManifest:
             self.metrics = dict(metrics)
         if trace_path is not None:
             self.trace_path = str(trace_path)
+        if spool_dir is not None:
+            self.spool_dir = str(spool_dir)
+        if profile is not None:
+            self.profile = list(profile)
         return self
 
     def to_dict(self) -> dict:

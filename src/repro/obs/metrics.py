@@ -11,6 +11,7 @@ scales a single experiment run produces (thousands of observations).
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 
@@ -105,18 +106,63 @@ class Histogram:
         }
 
 
+def labelled(base: str, **labels) -> str:
+    """Render a label-style metric name: ``base{k=v,k2=v2}``.
+
+    Label-style names keep one logical metric family per base name
+    (``dist.shard.events{shard=3}``) instead of minting a new dotted
+    path per shard id, so OpenMetrics exposition can group them into a
+    single family with proper labels rather than exploding the
+    namespace at high shard counts.  Labels are sorted for a canonical
+    form; values must not contain ``,``, ``=``, ``{`` or ``}``.
+    """
+    if "{" in base or "}" in base:
+        raise ValueError(f"label base {base!r} contains a reserved character")
+    if not labels:
+        return base
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        if any(ch in value for ch in ',={}') or any(ch in key for ch in ',={}'):
+            raise ValueError(f"label {key}={value!r} contains a reserved character")
+        parts.append(f"{key}={value}")
+    return base + "{" + ",".join(parts) + "}"
+
+
+def split_labels(name: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`labelled`: ``base{k=v}`` → ``(base, {k: v})``."""
+    if not name.endswith("}") or "{" not in name:
+        return name, {}
+    base, _, body = name.partition("{")
+    labels = {}
+    for pair in body[:-1].split(","):
+        if pair:
+            key, _, value = pair.partition("=")
+            labels[key] = value
+    return base, labels
+
+
 class MetricsRegistry:
     """Holds every metric of one recording session, keyed by name.
 
     A name is bound to a single metric kind for the registry's
     lifetime; re-using ``maml.inner_loop_steps`` as a gauge after it
     was a counter raises, catching instrumentation typos early.
+
+    Creation, the kind check, and :meth:`snapshot` hold an internal
+    lock: the OpenMetrics exposition thread and the monitor's sampler
+    read the registry while the engine thread (and shard-server feeder
+    threads) mutate it.  Updates on an already-created metric
+    (``Counter.add`` etc.) are single bytecode-level mutations and are
+    left unlocked on purpose — the lock guards the dict structure, not
+    every observation, keeping the hot path at its pre-lock cost.
     """
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     def _check_unique(self, name: str, kind: dict) -> None:
         for registry in (self.counters, self.gauges, self.histograms):
@@ -124,27 +170,43 @@ class MetricsRegistry:
                 raise ValueError(f"metric '{name}' already registered with a different kind")
 
     def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self._check_unique(name, self.counters)
-            self.counters[name] = Counter()
-        return self.counters[name]
+        metric = self.counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self.counters.get(name)
+                if metric is None:
+                    self._check_unique(name, self.counters)
+                    metric = self.counters[name] = Counter()
+        return metric
 
     def gauge(self, name: str) -> Gauge:
-        if name not in self.gauges:
-            self._check_unique(name, self.gauges)
-            self.gauges[name] = Gauge()
-        return self.gauges[name]
+        metric = self.gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self.gauges.get(name)
+                if metric is None:
+                    self._check_unique(name, self.gauges)
+                    metric = self.gauges[name] = Gauge()
+        return metric
 
     def histogram(self, name: str) -> Histogram:
-        if name not in self.histograms:
-            self._check_unique(name, self.histograms)
-            self.histograms[name] = Histogram()
-        return self.histograms[name]
+        metric = self.histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self.histograms.get(name)
+                if metric is None:
+                    self._check_unique(name, self.histograms)
+                    metric = self.histograms[name] = Histogram()
+        return metric
 
     def snapshot(self) -> dict:
         """A JSON-ready view of every metric's current state."""
+        with self._lock:
+            counters = sorted(self.counters.items())
+            gauges = sorted(self.gauges.items())
+            histograms = sorted(self.histograms.items())
         return {
-            "counters": {name: c.value for name, c in sorted(self.counters.items())},
-            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
-            "histograms": {name: h.summary() for name, h in sorted(self.histograms.items())},
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {name: g.value for name, g in gauges},
+            "histograms": {name: h.summary() for name, h in histograms},
         }

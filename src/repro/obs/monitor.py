@@ -184,7 +184,12 @@ class MetricsMonitor:
             for name, value in counters.items()
         }
         windows: dict[str, dict] = {}
-        for name, hist in sorted(self.registry.histograms.items()):
+        # Take the histogram listing under the registry lock: feeder
+        # threads (shard-server flushes, the exposition server) may be
+        # creating metrics while this sampler iterates.
+        with self.registry._lock:
+            hist_items = sorted(self.registry.histograms.items())
+        for name, hist in hist_items:
             cursor = self._hist_cursors.get(name, 0)
             windows[name] = hist.window_summary(cursor)
             self._hist_cursors[name] = len(hist.values)

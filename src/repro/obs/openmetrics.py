@@ -11,7 +11,13 @@ the OpenMetrics text format, so an external scraper (Prometheus, a
 
 Dotted metric names (``serve.queue.pending``) are sanitised to the
 ``[a-zA-Z_][a-zA-Z0-9_]*`` charset with an optional namespace prefix
-(``repro_serve_queue_pending``).  Two targets are provided: an
+(``repro_serve_queue_pending``).  Label-style names
+(``dist.shard.events{shard=3}``, see
+:func:`repro.obs.metrics.labelled`) are grouped into one family per
+base name with proper OpenMetrics labels — ``repro_dist_shard_events``
+gets one ``{shard="3"}`` series per shard instead of one metric family
+per shard, keeping the exposition's family count independent of the
+shard count.  Two targets are provided: an
 atomically rewritten file (for ``node_exporter``-style textfile
 collection) and a tiny stdlib :mod:`http.server` endpoint serving the
 latest exposition at ``/metrics``.
@@ -23,6 +29,8 @@ import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+
+from repro.obs.metrics import split_labels
 
 CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
@@ -47,31 +55,62 @@ def _fmt(value: float) -> str:
     return repr(value)
 
 
+def _label_text(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+    """Render an OpenMetrics label set (empty string when unlabelled)."""
+    items = list(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{_NAME_OK.sub("_", key)}="{value}"' for key, value in items)
+    return "{" + body + "}"
+
+
+def _families(metrics: dict) -> dict[str, list[tuple[dict[str, str], object]]]:
+    """Group metrics by base name, splitting label-style suffixes.
+
+    Input iteration is over the sorted full names, so each family's
+    series list arrives label-sorted and the render stays byte-stable.
+    """
+    families: dict[str, list[tuple[dict[str, str], object]]] = {}
+    for name, value in sorted(metrics.items()):
+        base, labels = split_labels(name)
+        families.setdefault(base, []).append((labels, value))
+    return families
+
+
 def render_openmetrics(snapshot: dict, prefix: str = "repro") -> str:
     """The OpenMetrics text document for one registry snapshot.
 
     ``snapshot`` is the dict produced by ``MetricsRegistry.snapshot()``
     (``counters`` / ``gauges`` / ``histograms`` keys, each optional).
     Families are emitted in sorted-name order so two snapshots of the
-    same state render byte-identically.
+    same state render byte-identically; label-style names collapse into
+    one family with one labelled series per label set.
     """
     lines: list[str] = []
-    for name, value in sorted(snapshot.get("counters", {}).items()):
-        flat = metric_name(name, prefix)
+    for base, series in sorted(_families(snapshot.get("counters", {})).items()):
+        flat = metric_name(base, prefix)
         lines.append(f"# TYPE {flat} counter")
-        lines.append(f"{flat}_total {_fmt(value)}")
-    for name, value in sorted(snapshot.get("gauges", {}).items()):
-        flat = metric_name(name, prefix)
+        for labels, value in series:
+            lines.append(f"{flat}_total{_label_text(labels)} {_fmt(value)}")
+    for base, series in sorted(_families(snapshot.get("gauges", {})).items()):
+        flat = metric_name(base, prefix)
         lines.append(f"# TYPE {flat} gauge")
-        lines.append(f"{flat} {_fmt(value)}")
-    for name, summary in sorted(snapshot.get("histograms", {}).items()):
-        flat = metric_name(name, prefix)
+        for labels, value in series:
+            lines.append(f"{flat}{_label_text(labels)} {_fmt(value)}")
+    for base, series in sorted(_families(snapshot.get("histograms", {})).items()):
+        flat = metric_name(base, prefix)
         lines.append(f"# TYPE {flat} summary")
-        for quantile, key in _QUANTILES:
-            if key in summary:
-                lines.append(f'{flat}{{quantile="{quantile}"}} {_fmt(summary[key])}')
-        lines.append(f"{flat}_count {_fmt(summary.get('count', 0))}")
-        lines.append(f"{flat}_sum {_fmt(summary.get('sum', 0.0))}")
+        for labels, summary in series:
+            for quantile, key in _QUANTILES:
+                if key in summary:
+                    lines.append(
+                        f"{flat}{_label_text(labels, ('quantile', quantile))} "
+                        f"{_fmt(summary[key])}"
+                    )
+            lines.append(f"{flat}_count{_label_text(labels)} {_fmt(summary.get('count', 0))}")
+            lines.append(f"{flat}_sum{_label_text(labels)} {_fmt(summary.get('sum', 0.0))}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

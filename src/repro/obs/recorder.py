@@ -16,14 +16,18 @@ the :func:`recording` context manager::
         print(rec.metrics.snapshot())
 
 Span names are dotted lowercase paths (``taml.leaf``, ``ppi.stage2``);
-attributes are small JSON-able values.  The recorder is deliberately
-single-threaded — one span stack per recorder — matching how the
-pipeline runs today; a sharded runner should create one recorder per
-worker process.
+attributes are small JSON-able values.  Span stacks are thread-local
+(each thread nests its own spans; ids stay globally unique and sink
+emission is serialised), but processes never share a recorder: a
+sharded runner creates one recorder per worker process, spooled and
+merged by :mod:`repro.obs.dist`.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
+import threading
 import time
 from typing import Iterator
 
@@ -162,42 +166,78 @@ class Span:
         }
 
 
+def new_trace_id() -> str:
+    """A compact process-unique trace id (hex, no external deps)."""
+    return f"{os.getpid():x}-{os.urandom(6).hex()}"
+
+
 class TraceRecorder:
-    """An active recorder: span stack, metric registry, and sinks."""
+    """An active recorder: span stacks, metric registry, and sinks.
+
+    Span stacks are *thread-local*: the engine thread, the OpenMetrics
+    ``http.server`` thread, and shard-server feeder threads each nest
+    their own spans without racing one another, while span ids stay
+    globally unique (a shared atomic counter) and record emission is
+    serialised through one lock so sink lines never interleave.
+
+    ``trace_id`` names the trace this recorder contributes to; worker
+    processes spooling telemetry for a coordinator are constructed with
+    the coordinator's trace id (propagated via
+    :func:`repro.obs.dist.current_context`) so merged timelines share
+    one identity.
+    """
 
     enabled = True
 
-    def __init__(self, *sinks) -> None:
+    def __init__(self, *sinks, trace_id: str | None = None) -> None:
         self.sinks = list(sinks)
         self.metrics = MetricsRegistry()
-        self._stack: list[Span] = []
-        self._next_id = 1
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._open_count = 0
+        self._emit_lock = threading.Lock()
         self._finished = False
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- spans ---------------------------------------------------------
     def span(self, name: str, **attrs) -> Span:
         return Span(self, name, attrs)
 
     def _open(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        if self._stack:
-            span.parent_id = self._stack[-1].span_id
-            span.depth = self._stack[-1].depth + 1
-        self._stack.append(span)
+        span.span_id = next(self._ids)
+        stack = self._stack
+        if stack:
+            span.parent_id = stack[-1].span_id
+            span.depth = stack[-1].depth + 1
+        stack.append(span)
+        with self._emit_lock:
+            self._open_count += 1
 
     def _close(self, span: Span) -> None:
-        if not self._stack or self._stack[-1] is not span:
+        stack = self._stack
+        if not stack or stack[-1] is not span:
             raise RuntimeError(
                 f"span '{span.name}' closed out of order; "
                 "spans must nest like context managers"
             )
-        self._stack.pop()
-        self._emit(span.to_record())
+        stack.pop()
+        with self._emit_lock:
+            self._open_count -= 1
+            for sink in self.sinks:
+                sink.emit(span.to_record())
 
     @property
     def current_span(self) -> Span | None:
-        return self._stack[-1] if self._stack else None
+        """The innermost open span *of the calling thread* (or None)."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     # -- metrics -------------------------------------------------------
     def counter(self, name: str, amount: float = 1.0) -> None:
@@ -211,23 +251,34 @@ class TraceRecorder:
 
     # -- lifecycle -----------------------------------------------------
     def _emit(self, record: dict) -> None:
-        for sink in self.sinks:
-            sink.emit(record)
+        with self._emit_lock:
+            for sink in self.sinks:
+                sink.emit(record)
+
+    def flush(self) -> None:
+        """Push buffered sink output to the OS without closing anything."""
+        with self._emit_lock:
+            for sink in self.sinks:
+                flush = getattr(sink, "flush", None)
+                if flush is not None:
+                    flush()
 
     def finish(self, strict: bool = True) -> None:
         """Flush the final metrics snapshot and close the sinks.
 
         Open spans at finish time are an instrumentation bug; with
-        ``strict`` they raise, otherwise (the unwinding-an-exception
-        path) they are force-closed innermost-first so the trace file
-        stays parseable.
+        ``strict`` they raise (counting spans across *all* threads),
+        otherwise (the unwinding-an-exception path) the calling
+        thread's spans are force-closed innermost-first so the trace
+        file stays parseable.  Spans left open by other threads cannot
+        be safely closed from here and are simply never emitted.
         """
         if self._finished:
             return
-        if self._stack and strict:
+        if self._open_count and strict:
+            where = f"(innermost here: '{self._stack[-1].name}')" if self._stack else "(in another thread)"
             raise RuntimeError(
-                f"finish() with {len(self._stack)} span(s) still open "
-                f"(innermost: '{self._stack[-1].name}')"
+                f"finish() with {self._open_count} span(s) still open {where}"
             )
         while self._stack:
             open_span = self._stack[-1]

@@ -44,17 +44,28 @@ class MemorySink:
 
 
 class JsonlSink:
-    """Appends records to a JSONL trace file, one object per line."""
+    """Appends records to a JSONL trace file, one object per line.
 
-    def __init__(self, path: str | Path) -> None:
+    ``append=True`` opens the file in append mode instead of
+    truncating — the mode per-process telemetry spools use, so a shard
+    server respawned after a crash continues the same spool file rather
+    than erasing the spans its predecessor managed to flush.
+    """
+
+    def __init__(self, path: str | Path, append: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh: IO[str] | None = self.path.open("w")
+        self._fh: IO[str] | None = self.path.open("a" if append else "w")
 
     def emit(self, record: dict) -> None:
         if self._fh is None:
             raise ValueError(f"sink for {self.path} is closed")
         self._fh.write(json.dumps(record, default=_jsonable) + "\n")
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (round-boundary durability)."""
+        if self._fh is not None:
+            self._fh.flush()
 
     def close(self) -> None:
         if self._fh is not None:

@@ -360,7 +360,12 @@ class ServeEngine:
                 return
             batch_started = time.perf_counter()
             with obs.span(
-                "serve.batch", t=t, pending=len(batch_tasks), available=len(available), early=early
+                "serve.batch",
+                t=t,
+                batch=result.n_batches,
+                pending=len(batch_tasks),
+                available=len(available),
+                early=early,
             ) as batch_span:
                 with obs.span("serve.predict", workers=len(available)):
                     started = time.perf_counter()

@@ -1,0 +1,153 @@
+"""Thread safety of the recorder and the metrics registry.
+
+The serving stack runs observability from several threads at once: the
+engine thread nests spans, shard-server feeder threads record command
+telemetry, and the OpenMetrics exposition / monitor threads read the
+registry while it grows.  These tests hammer those paths concurrently
+and check the invariants: every span emitted exactly once with a
+parent from its own thread's stack, globally unique span ids, no lost
+metric registrations, and a consistent snapshot under concurrent
+creation.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, labelled
+from repro.obs.recorder import TraceRecorder
+from repro.obs.sinks import MemorySink
+
+N_THREADS = 8
+N_REPEATS = 60
+
+
+def _hammer(n_threads, target):
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def runner(tid):
+        barrier.wait()
+        try:
+            target(tid)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=runner, args=(tid,)) for tid in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+class TestTraceRecorderThreading:
+    def test_concurrent_nested_spans(self):
+        sink = MemorySink()
+        recorder = TraceRecorder(sink)
+
+        def work(tid):
+            for i in range(N_REPEATS):
+                with recorder.span("outer", tid=tid, i=i):
+                    with recorder.span("inner", tid=tid):
+                        pass
+
+        _hammer(N_THREADS, work)
+        recorder.finish()
+        spans = sink.spans
+        assert len(spans) == N_THREADS * N_REPEATS * 2
+        ids = [r["span_id"] for r in spans]
+        assert len(set(ids)) == len(ids), "span ids collided across threads"
+        # Each inner span's parent is an outer span from the same thread.
+        outers = {r["span_id"]: r for r in spans if r["name"] == "outer"}
+        for record in spans:
+            if record["name"] != "inner":
+                continue
+            parent = outers[record["parent_id"]]
+            assert parent["attrs"]["tid"] == record["attrs"]["tid"]
+
+    def test_current_span_is_per_thread(self):
+        recorder = TraceRecorder(MemorySink())
+        seen = {}
+
+        def work(tid):
+            with recorder.span("mine", tid=tid):
+                seen[tid] = recorder.current_span.attrs["tid"]
+
+        _hammer(N_THREADS, work)
+        recorder.finish()
+        assert seen == {tid: tid for tid in range(N_THREADS)}
+
+    def test_strict_finish_counts_spans_open_in_other_threads(self):
+        recorder = TraceRecorder(MemorySink())
+        opened = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with recorder.span("held"):
+                opened.set()
+                release.wait(timeout=10.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        try:
+            assert opened.wait(timeout=10.0)
+            with pytest.raises(RuntimeError, match="still open"):
+                recorder.finish(strict=True)
+        finally:
+            release.set()
+            thread.join()
+        recorder.finish(strict=False)
+
+
+class TestMetricsRegistryThreading:
+    def test_concurrent_creation_loses_no_updates(self):
+        registry = MetricsRegistry()
+
+        def work(tid):
+            for i in range(N_REPEATS):
+                # Shared name: every thread races the same creation.
+                registry.counter("shared.events").add(1.0)
+                # Label-per-thread: disjoint creations under one lock.
+                registry.counter(labelled("shard.events", shard=tid)).add(1.0)
+                registry.gauge(labelled("shard.last", shard=tid)).set(float(i))
+                registry.histogram("shared.latency").observe(float(i))
+
+        _hammer(N_THREADS, work)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["shared.events"] == N_THREADS * N_REPEATS
+        for tid in range(N_THREADS):
+            assert snapshot["counters"][labelled("shard.events", shard=tid)] == N_REPEATS
+            assert snapshot["gauges"][labelled("shard.last", shard=tid)] == N_REPEATS - 1
+        assert snapshot["histograms"]["shared.latency"]["count"] == N_THREADS * N_REPEATS
+
+    def test_snapshot_during_concurrent_creation(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        snapshots = []
+
+        def sampler():
+            while not stop.is_set():
+                snapshots.append(registry.snapshot())
+
+        thread = threading.Thread(target=sampler)
+        thread.start()
+        try:
+            _hammer(
+                4,
+                lambda tid: [
+                    registry.counter(f"c.{tid}.{i}").add(1.0) for i in range(N_REPEATS)
+                ],
+            )
+        finally:
+            stop.set()
+            thread.join()
+        final = registry.snapshot()
+        assert len(final["counters"]) == 4 * N_REPEATS
+        assert snapshots, "sampler thread never ran"
+
+    def test_kind_collision_still_raises_under_lock(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
