@@ -61,13 +61,8 @@ from repro.meta.taml import TAMLConfig  # noqa: E402
 from repro.meta.task_tree import LearningTaskTree  # noqa: E402
 from repro.nn.losses import mse_loss  # noqa: E402
 from repro.pipeline.training import MobilityModelFactory  # noqa: E402
-from repro.serve import (  # noqa: E402
-    DeadReckoningProvider,
-    StreamConfig,
-    build_candidates,
-    make_task_stream,
-    make_worker_fleet,
-)
+from repro.scenarios import get_scenario, materialize  # noqa: E402
+from repro.serve import build_candidates  # noqa: E402
 
 OUTPUT = Path(__file__).parent.parent / "BENCH_dist.json"
 
@@ -99,10 +94,10 @@ META_SPEC = {
     ),
 }
 
+# Stream shape from the scenario registry (``repro.scenarios``), the
+# same population the CLI and sweep specs resolve for this name.
 SHARD_SPEC = {
-    "n_workers": 2000,
-    "n_tasks": 800,
-    "width_km": 40.0,
+    "scenario": "bench-dist-shard",
     "shards": 4,
     "cell_km": 2.0,
     "repeats": 3,
@@ -224,20 +219,10 @@ def bench_meta(spec: dict) -> dict:
 
 
 def batch_state(spec: dict):
-    cfg = StreamConfig(
-        n_workers=spec["n_workers"],
-        n_tasks=spec["n_tasks"],
-        t_end=1.0,
-        valid_min=20.0,
-        valid_max=40.0,
-        width_km=spec["width_km"],
-        height_km=spec["width_km"],
-        seed=0,
-    )
-    tasks = make_task_stream(cfg)
-    provider = DeadReckoningProvider(seed=0)
-    snapshots = [provider(w, 1.0) for w in make_worker_fleet(cfg)]
-    return tasks, snapshots, 1.0
+    data = materialize(get_scenario(spec["scenario"]))
+    t = data.t_end
+    snapshots = [data.provider(w, t) for w in data.workers]
+    return data.tasks, snapshots, t
 
 
 def plan_tuples(plan) -> list[tuple]:
@@ -296,10 +281,12 @@ def bench_shard(spec: dict) -> dict:
             f"{MAX_STEADY_OVERHEAD_PCT:.0f}% — the planner caches regressed"
         )
 
+    params = get_scenario(spec["scenario"]).params
     return {
-        "n_workers": spec["n_workers"],
-        "n_tasks": spec["n_tasks"],
-        "width_km": spec["width_km"],
+        "scenario": spec["scenario"],
+        "n_workers": params["n_workers"],
+        "n_tasks": params["n_tasks"],
+        "width_km": params["width_km"],
         "shards": k,
         "cell_km": cell_km,
         "timings_s": {

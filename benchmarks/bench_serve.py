@@ -44,35 +44,31 @@ from common import write_result  # noqa: E402
 from repro import obs  # noqa: E402
 from repro.assignment.ppi import ppi_assign, ppi_assign_candidates  # noqa: E402
 from repro.obs import MemorySink, MonitorConfig  # noqa: E402
-from repro.serve import (  # noqa: E402
-    DeadReckoningProvider,
-    ServeConfig,
-    ServeEngine,
-    StreamConfig,
-    build_candidates,
-    make_task_stream,
-    make_worker_fleet,
+from repro.scenarios import (  # noqa: E402
+    build_engine,
+    get_policy,
+    get_scenario,
+    materialize,
 )
+from repro.serve import build_candidates  # noqa: E402
 
 OUTPUT = Path(__file__).parent.parent / "BENCH_serve.json"
 
 HEADLINE = "city_scale"
 GUARD = "guard"
 
-# name -> batch-state shape. ``dense_sample_workers`` bounds the dense
-# arm (None = always full); extent keeps worker density roughly even.
+# name -> batch-state shape, resolved through the scenario registry
+# (``repro.scenarios``) so the bench, the CLI, and sweep specs draw the
+# same populations.  ``dense_sample_workers`` bounds the dense arm
+# (None = always full).
 SHAPES = {
     GUARD: {
-        "n_workers": 1000,
-        "n_tasks": 400,
-        "width_km": 40.0,
+        "scenario": "bench-serve-guard",
         "dense_sample_workers": None,
         "repeats": 3,
     },
     HEADLINE: {
-        "n_workers": 10_000,
-        "n_tasks": 5_000,
-        "width_km": 80.0,
+        "scenario": "bench-serve-city",
         "dense_sample_workers": 500,
         "repeats": 3,
     },
@@ -85,28 +81,17 @@ def full_dense() -> bool:
     return os.environ.get("REPRO_SERVE_BENCH_FULL", "").strip() not in ("", "0")
 
 
-def batch_state(n_workers: int, n_tasks: int, width_km: float, seed: int = 0):
+def batch_state(scenario_name: str):
     """One representative mid-stream batch: pending tasks + snapshots.
 
-    Tasks all release just before ``t`` with 20-40 minutes of validity,
-    so at ``t`` the whole set is pending, as in a loaded batch.
+    The registry scenario releases every task just before ``t_end``
+    with 20-40 minutes of validity, so at ``t_end`` the whole set is
+    pending, as in a loaded batch.
     """
-    cfg = StreamConfig(
-        n_workers=n_workers,
-        n_tasks=n_tasks,
-        t_end=1.0,
-        valid_min=20.0,
-        valid_max=40.0,
-        width_km=width_km,
-        height_km=width_km,
-        seed=seed,
-    )
-    tasks = make_task_stream(cfg)
-    workers = make_worker_fleet(cfg)
-    provider = DeadReckoningProvider(seed=seed)
-    t = 1.0
-    snapshots = [provider(w, t) for w in workers]
-    return tasks, snapshots, t
+    data = materialize(get_scenario(scenario_name))
+    t = data.t_end
+    snapshots = [data.provider(w, t) for w in data.workers]
+    return data.tasks, snapshots, t
 
 
 def plan_pairs(plan) -> list[tuple[int, int]]:
@@ -128,7 +113,8 @@ def time_sparse(tasks, snapshots, t, repeats: int) -> tuple[float, object, int]:
 
 
 def bench_shape(name: str, spec: dict) -> dict:
-    tasks, snapshots, t = batch_state(spec["n_workers"], spec["n_tasks"], spec["width_km"])
+    scenario = get_scenario(spec["scenario"])
+    tasks, snapshots, t = batch_state(spec["scenario"])
     repeats = spec["repeats"]
 
     sparse_s, sparse_plan, candidate_pairs = time_sparse(tasks, snapshots, t, repeats)
@@ -155,9 +141,10 @@ def bench_shape(name: str, spec: dict) -> dict:
     del sparse_check
 
     entry = {
-        "n_workers": spec["n_workers"],
-        "n_tasks": spec["n_tasks"],
-        "width_km": spec["width_km"],
+        "scenario": spec["scenario"],
+        "n_workers": scenario.params["n_workers"],
+        "n_tasks": scenario.params["n_tasks"],
+        "width_km": scenario.params["width_km"],
         "dense_pairs": dense_pairs,
         "candidate_pairs": candidate_pairs,
         "candidate_sparsity": candidate_pairs / dense_pairs,
@@ -177,40 +164,26 @@ def bench_shape(name: str, spec: dict) -> dict:
 def engine_metrics_run() -> dict:
     """A loaded end-to-end run that exercises every serving feature.
 
+    The run is the ``bench-serve-engine`` scenario under the
+    ``bench-serve-engine`` policy — both registry built-ins, so the
+    identical run is reproducible as ``repro-tamp scenarios run
+    --scenario bench-serve-engine --policy bench-serve-engine``.
     Returns the engine's own accounting plus the ``serve.*`` metrics
     snapshot collected through ``repro.obs``.
     """
-    cfg = StreamConfig(
-        n_workers=800,
-        n_tasks=1600,
-        t_end=60.0,
-        width_km=30.0,
-        height_km=30.0,
-        seed=2,
-    )
-    tasks = make_task_stream(cfg)
-    workers = make_worker_fleet(cfg)
-    engine = ServeEngine(
-        workers,
-        DeadReckoningProvider(seed=2),
-        ServeConfig(
-            trigger="adaptive",
-            pending_threshold=120,
-            deadline_slack=1.0,
-            max_pending=150,
-            cache_ttl=6.0,
-            cache_deviation_km=2.0,
-            use_index=True,
-            index_cell_km=INDEX_CELL_KM,
-            # In-memory monitor (no series file): the sampled time axis
-            # and calibration land in the bench JSON below.
-            monitor=MonitorConfig(cadence=5.0),
-        ),
-        assign_fn=ppi_assign,
-        candidate_assign_fn=ppi_assign_candidates,
+    scenario = get_scenario("bench-serve-engine")
+    policy = get_policy("bench-serve-engine")
+    data = materialize(scenario)
+    engine = build_engine(
+        data.workers,
+        data.provider,
+        policy,
+        # In-memory monitor (no series file): the sampled time axis
+        # and calibration land in the bench JSON below.
+        monitor=MonitorConfig(cadence=5.0),
     )
     with obs.recording(MemorySink()):
-        result = engine.run(tasks, 0.0, 60.0)
+        result = engine.run(data.tasks, data.t_start, data.t_end)
         snapshot = obs.get_recorder().metrics.snapshot()
     serve_metrics = {
         kind: {k: v for k, v in values.items() if k.startswith("serve.")}
@@ -219,12 +192,14 @@ def engine_metrics_run() -> dict:
     }
     return {
         "config": {
-            "n_workers": cfg.n_workers,
-            "n_tasks": cfg.n_tasks,
-            "horizon_minutes": cfg.t_end,
-            "trigger": "adaptive",
-            "cache_ttl": 6.0,
-            "max_pending": 150,
+            "scenario": "bench-serve-engine",
+            "policy": "bench-serve-engine",
+            "n_workers": scenario.params["n_workers"],
+            "n_tasks": scenario.params["n_tasks"],
+            "horizon_minutes": data.t_end,
+            "trigger": policy.trigger.kind,
+            "cache_ttl": policy.cache.ttl,
+            "max_pending": policy.shedding.max_pending,
         },
         "completion_ratio": result.metrics().completion_ratio,
         "n_batches": result.n_batches,

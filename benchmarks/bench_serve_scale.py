@@ -55,13 +55,8 @@ from repro.dist import ShardPlanner, ShardServerBackend, WarmMatchCache  # noqa:
 from repro.dist.backend import ProcessBackend  # noqa: E402
 from repro.dist.shard import ComponentMatcher, sharded_build_candidates  # noqa: E402
 from repro.dist.server import batch_step, encode_snapshot, encode_task  # noqa: E402
-from repro.serve import (  # noqa: E402
-    DeadReckoningProvider,
-    StreamConfig,
-    build_candidates,
-    make_task_stream,
-    make_worker_fleet,
-)
+from repro.scenarios import get_scenario, materialize  # noqa: E402
+from repro.serve import build_candidates  # noqa: E402
 from repro.serve.spatial_index import latest_horizon  # noqa: E402
 
 OUTPUT = Path(__file__).parent.parent / "BENCH_serve_scale.json"
@@ -75,51 +70,36 @@ HEADLINE = "serve_scale"
 #: guard re-derives its tolerance band from.
 MIN_WARM_SPEEDUP = 2.0
 
+# Stream shapes come from the scenario registry (``repro.scenarios``)
+# so the bench, the CLI, and sweep specs draw the same populations.
+# ``bench-scale-warm`` carries far deadlines: theorem2_bound =
+# min(d/2, sp * (deadline - t)) sits on the d/2 branch for every step,
+# so pair weights do not drift with t and unchanged components
+# re-match via the cache.
 WARM_SPEC = {
-    "n_workers": 1000,
-    "n_tasks": 400,
-    "width_km": 40.0,
+    "scenario": "bench-scale-warm",
     "cell_km": 2.0,
     "steps": 12,
     "churn_workers": 2,
-    # Far deadlines: theorem2_bound = min(d/2, sp * (deadline - t))
-    # sits on the d/2 branch for every step, so pair weights do not
-    # drift with t and unchanged components re-match via the cache.
-    "valid_min": 120.0,
-    "valid_max": 150.0,
 }
 
 SCALE_SPEC = {
-    "n_workers": 100_000,
-    "n_tasks": 20_000,
-    "width_km": 250.0,
+    "scenario": "bench-scale-100k",
     "cell_km": 2.0,
     "shards": 4,
     "repeats": 2,
-    "valid_min": 20.0,
-    "valid_max": 40.0,
 }
 
 #: The extrapolation target: the paper's million-user regime.
 TARGET = {"n_workers": 1_000_000, "n_tasks": 100_000}
 
 
-def batch_state(spec: dict, seed: int = 0):
+def batch_state(spec: dict):
     """One loaded mid-stream batch: pending tasks + worker snapshots."""
-    cfg = StreamConfig(
-        n_workers=spec["n_workers"],
-        n_tasks=spec["n_tasks"],
-        t_end=1.0,
-        valid_min=spec["valid_min"],
-        valid_max=spec["valid_max"],
-        width_km=spec["width_km"],
-        height_km=spec["width_km"],
-        seed=seed,
-    )
-    tasks = make_task_stream(cfg)
-    provider = DeadReckoningProvider(seed=seed)
-    snapshots = [provider(w, 1.0) for w in make_worker_fleet(cfg)]
-    return tasks, snapshots, 1.0
+    data = materialize(get_scenario(spec["scenario"]))
+    t = data.t_end
+    snapshots = [data.provider(w, t) for w in data.workers]
+    return data.tasks, snapshots, t
 
 
 def plan_tuples(plan) -> list[tuple]:
@@ -180,9 +160,11 @@ def bench_warm(spec: dict) -> dict:
             f"warm matcher speedup {speedup:.2f}x fell below the "
             f"{MIN_WARM_SPEEDUP:.0f}x floor"
         )
+    params = get_scenario(spec["scenario"]).params
     return {
-        "n_workers": spec["n_workers"],
-        "n_tasks": spec["n_tasks"],
+        "scenario": spec["scenario"],
+        "n_workers": params["n_workers"],
+        "n_tasks": params["n_tasks"],
         "steps": steps,
         "churn_workers": spec["churn_workers"],
         "timings_s": {
@@ -284,10 +266,12 @@ def bench_scale(spec: dict) -> dict:
         )
 
     scale = (TARGET["n_workers"] + TARGET["n_tasks"]) / events
+    params = get_scenario(spec["scenario"]).params
     return {
-        "n_workers": spec["n_workers"],
-        "n_tasks": spec["n_tasks"],
-        "width_km": spec["width_km"],
+        "scenario": spec["scenario"],
+        "n_workers": params["n_workers"],
+        "n_tasks": params["n_tasks"],
+        "width_km": params["width_km"],
         "shards": k,
         "cell_km": cell,
         "events_per_round": events,

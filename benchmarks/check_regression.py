@@ -1,42 +1,35 @@
 """Guard the benchmarked speedups against performance regressions.
 
-Six baselines are guarded, each behind its own opt-in pytest marker:
+Six baselines are guarded, each behind its own opt-in pytest marker.
+Every guard is one row of the :data:`GUARDS` table — a
+:class:`GuardSpec` naming the bench to re-measure, the quantity
+guarded, and how it fails — so registering a new bench is one entry,
+not another copy of the measure/compare/retry boilerplate.  Three guard
+modes cover every row:
 
-* ``fastpath_bench`` — re-runs :mod:`benchmarks.bench_nn_fastpath` and
-  compares the measured tape/fused speedup *ratios* against the
-  committed ``BENCH_nn_fastpath.json``;
-* ``serve_bench`` — re-runs the ``guard`` shape of
-  :mod:`benchmarks.bench_serve` and compares the dense/sparse per-batch
-  assignment speedup against the committed ``BENCH_serve.json``;
-* ``monitor_bench`` — re-runs :mod:`benchmarks.bench_monitor_overhead`
-  and fails when the *enabled* online monitor costs more than its
-  absolute overhead bar on the end-to-end serve run (the bench itself
-  asserts monitored/unmonitored plan parity on every measurement);
-* ``dist_bench`` — re-runs the ``meta_gang`` guard shape of
-  :mod:`benchmarks.bench_dist` and compares the serial/gang-4
-  meta-training speedup against the committed ``BENCH_dist.json``
-  (the bench itself asserts bit-identical tree parameters between the
-  arms before any ratio is reported);
-* ``scale_bench`` — re-runs the ``warm_matching`` guard shape of
-  :mod:`benchmarks.bench_serve_scale` and compares the cold/warm
-  matcher-solve speedup against the committed
-  ``BENCH_serve_scale.json`` (the bench asserts plan parity on every
-  churn step and its own absolute 2x floor before reporting);
-* ``dist_obs_bench`` — re-runs the distributed arm of
-  :mod:`benchmarks.bench_obs_overhead` and fails when enabled
-  cross-process tracing (context frames, per-shard spools, round
-  flushes) costs more than its absolute bar on a sharded shard-server
-  serve run (the bench asserts traced/untraced plan parity on every
-  measurement pair).
+* ``shapes`` (``fastpath_bench``) — re-runs
+  :mod:`benchmarks.bench_nn_fastpath` and compares the measured
+  tape/fused speedup *ratios* of every shape against the committed
+  ``BENCH_nn_fastpath.json`` via :func:`compare`, attributing failures
+  to the per-phase p50 that drifted the most (:func:`attribute_phase`);
+* ``ratio`` (``serve_bench``, ``dist_bench``, ``scale_bench``) —
+  re-runs the bench's guard shape only and compares one speedup ratio
+  against the committed baseline (dense/sparse batch assignment,
+  serial/gang meta-training, cold/warm matcher solve).  Each bench
+  asserts its own exactness invariants (plan parity, bit-identical
+  parameters) before reporting any ratio;
+* ``bar`` (``monitor_bench``, ``dist_obs_bench``) — re-runs an
+  overhead bench and fails when the *enabled* arm costs more than its
+  absolute bar (the bench's own ``MAX_*_PCT``).  Bars are absolute
+  rather than baseline-relative because the guarded quantity is the
+  on/off ratio of the same engine on the same host — already
+  load-stable.  Parity between the arms is asserted inside the bench.
 
 A ratio that drops by more than ``TOLERANCE`` (20%) fails.  Ratios are
 compared rather than absolute times because both arms slow down
 together under host load, so the ratio is the stable quantity on
 shared machines; a transient failure is re-measured once before it
-counts.  When a fast-path shape fails and both JSON documents carry
-per-phase span timings (``"phases"``), the failure message names the
-phase whose p50 drifted the most, so a regression points at tape vs
-fused vs batched rather than only at the end-to-end ratio.
+counts.
 
 Run standalone (checks every baseline)::
 
@@ -57,7 +50,9 @@ from __future__ import annotations
 
 import json
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 import pytest
 
@@ -65,10 +60,14 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import bench_dist  # noqa: E402
 import bench_monitor_overhead  # noqa: E402
+import bench_nn_fastpath  # noqa: E402
 import bench_obs_overhead  # noqa: E402
 import bench_serve  # noqa: E402
 import bench_serve_scale  # noqa: E402
-from bench_nn_fastpath import OUTPUT, run  # noqa: E402
+
+# Kept for callers that drive the fast-path check directly.
+OUTPUT = bench_nn_fastpath.OUTPUT
+run = bench_nn_fastpath.run
 
 TOLERANCE = 0.20
 REPEATS = 40
@@ -117,237 +116,210 @@ def compare(baseline: dict, current: dict) -> list[str]:
     return failures
 
 
-def check() -> list[str]:
-    if not OUTPUT.exists():
+@dataclass(frozen=True)
+class GuardSpec:
+    """One guarded baseline: what to re-measure and how it fails.
+
+    ``measure`` receives the loaded baseline document (``None`` for bar
+    guards, which have no baseline file) and returns the current
+    measurement.  ``ratio`` rows name the guarded entry under
+    ``shapes[guard_shape]["speedup"]``; ``bar`` rows carry the absolute
+    ceiling and how to render/phrase an overflow.
+    """
+
+    name: str                 # test function suffix: test_{name}_no_regression
+    marker: str               # opt-in pytest marker / CI job selector
+    failure_title: str        # assertion banner when the guard trips
+    mode: str                 # "shapes" | "ratio" | "bar"
+    measure: Callable[[dict | None], dict] = field(repr=False, default=lambda b: {})
+    baseline: Path | None = None
+    bench_script: str | None = None   # pointer printed when no baseline exists
+    # ratio mode
+    ratio_key: str | None = None      # key under shapes[guard]["speedup"]
+    ratio_desc: str | None = None     # human name of the guarded ratio
+    # bar mode
+    bar: float | None = None
+    bar_label: str | None = None      # printed row label, e.g. "serve/monitor"
+    bar_desc: str | None = None       # e.g. "enabled overhead"
+    detail_key: str | None = None     # count reported next to the bar line
+    detail_desc: str | None = None
+    fail_text: str | None = None      # .format(pct=..., bar=...)
+
+
+def _load_baseline(spec: GuardSpec) -> dict:
+    if not spec.baseline.exists():
         raise FileNotFoundError(
-            f"no baseline at {OUTPUT}; run benchmarks/bench_nn_fastpath.py first"
+            f"no baseline at {spec.baseline}; run benchmarks/{spec.bench_script} first"
         )
-    baseline = json.loads(OUTPUT.read_text())
+    return json.loads(spec.baseline.read_text())
+
+
+def _check_shapes(spec: GuardSpec) -> list[str]:
+    baseline = _load_baseline(spec)
+    current = spec.measure(baseline)
+    for name, entry in current["shapes"].items():
+        base = baseline["shapes"].get(name, {}).get("speedup", {})
+        print(
+            f"{name:18s} single {entry['speedup']['single']:5.2f}x"
+            f" (baseline {base.get('single', float('nan')):5.2f}x)"
+            f" | batched {entry['speedup']['batched']:5.2f}x"
+            f" (baseline {base.get('batched', float('nan')):5.2f}x)"
+        )
+    return compare(baseline, current)
+
+
+def _check_ratio(spec: GuardSpec) -> list[str]:
+    baseline = _load_baseline(spec)
+    guard = baseline["guard_shape"]
+    base = baseline["shapes"][guard]["speedup"][spec.ratio_key]
+    floor = base * (1.0 - TOLERANCE)
+    current = spec.measure(baseline)
+    cur = current["shapes"][guard]["speedup"][spec.ratio_key]
+    print(
+        f"{spec.name}/{guard:13s} {spec.ratio_desc} {cur:6.2f}x (baseline {base:6.2f}x)"
+    )
+    if cur >= floor:
+        return []
+    return [
+        f"{spec.name}/{guard}: {spec.ratio_desc} speedup {cur:.2f}x fell below "
+        f"{floor:.2f}x (baseline {base:.2f}x - {TOLERANCE:.0%})"
+    ]
+
+
+def _check_bar(spec: GuardSpec) -> list[str]:
+    result = spec.measure(None)
+    print(
+        f"{spec.bar_label:15s} {spec.bar_desc} {result['overhead_pct']:+6.2f}%"
+        f" (bar {spec.bar:.0f}%), parity ok,"
+        f" {result[spec.detail_key]} {spec.detail_desc}"
+    )
+    if result["overhead_pct"] < spec.bar:
+        return []
+    return [spec.fail_text.format(pct=result["overhead_pct"], bar=spec.bar)]
+
+
+_MODES = {"shapes": _check_shapes, "ratio": _check_ratio, "bar": _check_bar}
+
+
+def run_guard(spec: GuardSpec) -> list[str]:
+    """Measure one guard, retrying once: a transient host-load spike can
+    sink one measurement pass, so only a regression that reproduces on
+    an immediate re-measure counts."""
     failures: list[str] = []
-    # A transient host-load spike can sink one measurement pass; only a
-    # regression that reproduces on an immediate re-measure counts.
     for attempt in range(2):
-        current = run(repeats=REPEATS)
-        for name, entry in current["shapes"].items():
-            base = baseline["shapes"].get(name, {}).get("speedup", {})
-            print(
-                f"{name:18s} single {entry['speedup']['single']:5.2f}x"
-                f" (baseline {base.get('single', float('nan')):5.2f}x)"
-                f" | batched {entry['speedup']['batched']:5.2f}x"
-                f" (baseline {base.get('batched', float('nan')):5.2f}x)"
-            )
-        failures = compare(baseline, current)
+        failures = _MODES[spec.mode](spec)
         if not failures:
-            break
-        if attempt == 0:
-            print("below tolerance; re-measuring once to rule out host noise")
-    return failures
-
-
-def check_serve() -> list[str]:
-    """Re-measure the serve bench's guard shape against its baseline.
-
-    Only the guard shape is re-run: it measures both arms fully (no
-    extrapolation), so its dense/sparse ratio is the trustworthy one,
-    and it finishes in seconds where the city-scale headline takes
-    minutes.
-    """
-    if not bench_serve.OUTPUT.exists():
-        raise FileNotFoundError(
-            f"no baseline at {bench_serve.OUTPUT}; run benchmarks/bench_serve.py first"
-        )
-    baseline = json.loads(bench_serve.OUTPUT.read_text())
-    guard = baseline["guard_shape"]
-    base = baseline["shapes"][guard]["speedup"]["batch_assignment"]
-    floor = base * (1.0 - TOLERANCE)
-    failures: list[str] = []
-    for attempt in range(2):
-        current = bench_serve.run({guard: bench_serve.SHAPES[guard]})
-        cur = current["shapes"][guard]["speedup"]["batch_assignment"]
-        print(f"serve/{guard:12s} batch-assignment {cur:6.1f}x (baseline {base:6.1f}x)")
-        if cur >= floor:
             return []
-        failures = [
-            f"serve/{guard}: batch-assignment speedup {cur:.1f}x fell below "
-            f"{floor:.1f}x (baseline {base:.1f}x - {TOLERANCE:.0%})"
-        ]
         if attempt == 0:
-            print("below tolerance; re-measuring once to rule out host noise")
+            print("outside tolerance; re-measuring once to rule out host noise")
     return failures
 
 
-def check_monitor() -> list[str]:
-    """Re-measure the online monitor's enabled overhead against its bar.
-
-    Unlike the speedup guards this bar is *absolute* (the bench's own
-    ``MAX_OVERHEAD_PCT``), because the quantity guarded is the on/off
-    ratio of the same engine on the same host — already load-stable.
-    Plan parity between the arms is asserted inside the bench.
-    """
-    bar = bench_monitor_overhead.MAX_OVERHEAD_PCT
-    failures: list[str] = []
-    for attempt in range(2):
-        result = bench_monitor_overhead.run()
-        print(
-            f"serve/monitor   enabled overhead {result['overhead_pct']:+6.2f}%"
-            f" (bar {bar:.0f}%), parity ok,"
-            f" {result['n_monitor_samples']} samples"
-        )
-        if result["overhead_pct"] < bar:
-            return []
-        failures = [
-            f"serve/monitor: enabled monitor costs {result['overhead_pct']:.2f}% "
-            f"on the end-to-end run (bar: {bar:.0f}%)"
-        ]
-        if attempt == 0:
-            print("over the bar; re-measuring once to rule out host noise")
-    return failures
-
-
-def check_dist() -> list[str]:
-    """Re-measure the dist bench's meta-training gang speedup.
-
-    Only the guard shape is re-run (the shard arm asserts its own
-    steady-state overhead ceiling whenever the full bench runs).
-    The bench asserts bit-identical serial/gang parameters on every
-    measurement, so a passing check certifies both exactness and the
-    speedup floor.
-    """
-    if not bench_dist.OUTPUT.exists():
-        raise FileNotFoundError(
-            f"no baseline at {bench_dist.OUTPUT}; run benchmarks/bench_dist.py first"
-        )
-    baseline = json.loads(bench_dist.OUTPUT.read_text())
-    guard = baseline["guard_shape"]
-    base = baseline["shapes"][guard]["speedup"]["meta_training"]
-    floor = base * (1.0 - TOLERANCE)
-    failures: list[str] = []
-    for attempt in range(2):
-        current = bench_dist.run(include_shard=False)
-        cur = current["shapes"][guard]["speedup"]["meta_training"]
-        print(f"dist/{guard:12s} meta-training {cur:5.2f}x (baseline {base:5.2f}x)")
-        if cur >= floor:
-            return []
-        failures = [
-            f"dist/{guard}: meta-training gang speedup {cur:.2f}x fell below "
-            f"{floor:.2f}x (baseline {base:.2f}x - {TOLERANCE:.0%})"
-        ]
-        if attempt == 0:
-            print("below tolerance; re-measuring once to rule out host noise")
-    return failures
-
-
-def check_serve_scale() -> list[str]:
-    """Re-measure the warm-started matcher speedup against its baseline.
-
-    Only the ``warm_matching`` guard shape is re-run: it finishes in
-    seconds where the 100k-worker ``serve_scale`` arm takes minutes,
-    and its cold/warm solve ratio is the load-stable quantity (both
-    arms run in the same process on the same batch states).  The bench
-    asserts plan parity on every step and its own 2x floor; this guard
-    additionally pins the committed ratio within tolerance.
-    """
-    if not bench_serve_scale.OUTPUT.exists():
-        raise FileNotFoundError(
-            f"no baseline at {bench_serve_scale.OUTPUT}; "
-            "run benchmarks/bench_serve_scale.py first"
-        )
-    baseline = json.loads(bench_serve_scale.OUTPUT.read_text())
-    guard = baseline["guard_shape"]
-    base = baseline["shapes"][guard]["speedup"]["matcher_solve"]
-    floor = base * (1.0 - TOLERANCE)
-    failures: list[str] = []
-    for attempt in range(2):
-        current = bench_serve_scale.run({guard: bench_serve_scale.WARM_SPEC})
-        cur = current["shapes"][guard]["speedup"]["matcher_solve"]
-        print(f"scale/{guard:13s} matcher-solve {cur:5.2f}x (baseline {base:5.2f}x)")
-        if cur >= floor:
-            return []
-        failures = [
-            f"scale/{guard}: warm matcher speedup {cur:.2f}x fell below "
-            f"{floor:.2f}x (baseline {base:.2f}x - {TOLERANCE:.0%})"
-        ]
-        if attempt == 0:
-            print("below tolerance; re-measuring once to rule out host noise")
-    return failures
+GUARDS = [
+    GuardSpec(
+        name="fastpath",
+        marker="fastpath_bench",
+        failure_title="fast-path speedup regressed",
+        mode="shapes",
+        measure=lambda baseline: bench_nn_fastpath.run(repeats=REPEATS),
+        baseline=bench_nn_fastpath.OUTPUT,
+        bench_script="bench_nn_fastpath.py",
+    ),
+    GuardSpec(
+        name="serve",
+        marker="serve_bench",
+        failure_title="serving-path speedup regressed",
+        mode="ratio",
+        # Only the guard shape is re-run: it measures both arms fully
+        # (no extrapolation) and finishes in seconds where the
+        # city-scale headline takes minutes.
+        measure=lambda baseline: bench_serve.run(
+            {baseline["guard_shape"]: bench_serve.SHAPES[baseline["guard_shape"]]}
+        ),
+        baseline=bench_serve.OUTPUT,
+        bench_script="bench_serve.py",
+        ratio_key="batch_assignment",
+        ratio_desc="batch-assignment",
+    ),
+    GuardSpec(
+        name="monitor",
+        marker="monitor_bench",
+        failure_title="monitor overhead regressed",
+        mode="bar",
+        measure=lambda baseline: bench_monitor_overhead.run(),
+        bar=bench_monitor_overhead.MAX_OVERHEAD_PCT,
+        bar_label="serve/monitor",
+        bar_desc="enabled overhead",
+        detail_key="n_monitor_samples",
+        detail_desc="samples",
+        fail_text=(
+            "serve/monitor: enabled monitor costs {pct:.2f}% "
+            "on the end-to-end run (bar: {bar:.0f}%)"
+        ),
+    ),
+    GuardSpec(
+        name="dist",
+        marker="dist_bench",
+        failure_title="dist meta-training speedup regressed",
+        mode="ratio",
+        # The shard arm asserts its own steady-state overhead ceiling
+        # whenever the full bench runs; the guard re-runs only the gang.
+        measure=lambda baseline: bench_dist.run(include_shard=False),
+        baseline=bench_dist.OUTPUT,
+        bench_script="bench_dist.py",
+        ratio_key="meta_training",
+        ratio_desc="meta-training",
+    ),
+    GuardSpec(
+        name="serve_scale",
+        marker="scale_bench",
+        failure_title="warm matcher speedup regressed",
+        mode="ratio",
+        measure=lambda baseline: bench_serve_scale.run(
+            {baseline["guard_shape"]: bench_serve_scale.WARM_SPEC}
+        ),
+        baseline=bench_serve_scale.OUTPUT,
+        bench_script="bench_serve_scale.py",
+        ratio_key="matcher_solve",
+        ratio_desc="matcher-solve",
+    ),
+    GuardSpec(
+        name="dist_obs",
+        marker="dist_obs_bench",
+        failure_title="distributed tracing overhead regressed",
+        mode="bar",
+        measure=lambda baseline: bench_obs_overhead.run_dist(),
+        bar=bench_obs_overhead.MAX_DIST_OVERHEAD_PCT,
+        bar_label="dist/obs",
+        bar_desc="traced overhead",
+        detail_key="n_spools",
+        detail_desc="spools",
+        fail_text=(
+            "dist/obs: enabled distributed tracing costs {pct:.2f}% "
+            "on the sharded serve run (bar: {bar:.0f}%)"
+        ),
+    ),
+]
 
 
-def check_dist_obs() -> list[str]:
-    """Re-measure enabled distributed tracing against its absolute bar.
+def _make_guard_test(spec: GuardSpec):
+    def guard_test():
+        failures = run_guard(spec)
+        assert not failures, f"{spec.failure_title}:\n" + "\n".join(failures)
 
-    Like the monitor guard, the bar is absolute (the bench's own
-    ``MAX_DIST_OVERHEAD_PCT``): the guarded quantity is the traced vs
-    untraced ratio of the same sharded engine on the same host, which
-    is load-stable.  The untraced arm sends the byte-identical 3-tuple
-    wire frames of the pre-observability protocol, and the bench
-    asserts ``result_signature`` parity on every pair, so a passing
-    check certifies both the no-op discipline and the enabled ceiling.
-    """
-    bar = bench_obs_overhead.MAX_DIST_OVERHEAD_PCT
-    failures: list[str] = []
-    for attempt in range(2):
-        result = bench_obs_overhead.run_dist()
-        print(
-            f"dist/obs        traced overhead {result['overhead_pct']:+6.2f}%"
-            f" (bar {bar:.0f}%), parity ok,"
-            f" {result['n_spools']} spools"
-        )
-        if result["overhead_pct"] < bar:
-            return []
-        failures = [
-            f"dist/obs: enabled distributed tracing costs "
-            f"{result['overhead_pct']:.2f}% on the sharded serve run (bar: {bar:.0f}%)"
-        ]
-        if attempt == 0:
-            print("over the bar; re-measuring once to rule out host noise")
-    return failures
+    guard_test.__name__ = f"test_{spec.name}_no_regression"
+    guard_test.__doc__ = f"{spec.failure_title}? ({spec.mode} guard, -m {spec.marker})"
+    return getattr(pytest.mark, spec.marker)(guard_test)
 
 
-@pytest.mark.fastpath_bench
-def test_fastpath_no_regression():
-    failures = check()
-    assert not failures, "fast-path speedup regressed:\n" + "\n".join(failures)
-
-
-@pytest.mark.serve_bench
-def test_serve_no_regression():
-    failures = check_serve()
-    assert not failures, "serving-path speedup regressed:\n" + "\n".join(failures)
-
-
-@pytest.mark.monitor_bench
-def test_monitor_no_regression():
-    failures = check_monitor()
-    assert not failures, "monitor overhead regressed:\n" + "\n".join(failures)
-
-
-@pytest.mark.dist_bench
-def test_dist_no_regression():
-    failures = check_dist()
-    assert not failures, "dist meta-training speedup regressed:\n" + "\n".join(failures)
-
-
-@pytest.mark.scale_bench
-def test_serve_scale_no_regression():
-    failures = check_serve_scale()
-    assert not failures, "warm matcher speedup regressed:\n" + "\n".join(failures)
-
-
-@pytest.mark.dist_obs_bench
-def test_dist_obs_no_regression():
-    failures = check_dist_obs()
-    assert not failures, "distributed tracing overhead regressed:\n" + "\n".join(failures)
+for _spec in GUARDS:
+    _guard_test = _make_guard_test(_spec)
+    globals()[_guard_test.__name__] = _guard_test
+del _spec, _guard_test
 
 
 def main() -> int:
-    failures = (
-        check()
-        + check_serve()
-        + check_monitor()
-        + check_dist()
-        + check_serve_scale()
-        + check_dist_obs()
-    )
+    failures = [message for spec in GUARDS for message in run_guard(spec)]
     if failures:
         print("REGRESSION:", *failures, sep="\n  ")
         return 1

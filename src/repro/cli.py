@@ -111,50 +111,65 @@ def build_parser() -> argparse.ArgumentParser:
                         help="spool directory (default: the run manifest's spool_dir, "
                              "else <trace>.spools)")
 
+    def add_stream_flags(p: argparse.ArgumentParser) -> None:
+        """The synthetic-stream shape shared by serve-sim and scenarios run."""
+        p.add_argument("--n-workers", type=int, default=200)
+        p.add_argument("--n-tasks", type=int, default=400)
+        p.add_argument("--horizon", type=float, default=60.0, help="minutes of simulated stream")
+        p.add_argument("--extent", type=float, default=20.0, help="city extent (km, square)")
+        p.add_argument("--detour", type=float, default=4.0, help="worker detour budget (km)")
+        p.add_argument("--seed", type=int, default=1)
+
+    def add_serve_policy_flags(p: argparse.ArgumentParser) -> None:
+        """Every serving-policy knob, shared by serve-sim and scenarios run.
+
+        One flag group → one PolicySpec translation
+        (:func:`repro.scenarios.builders.policy_from_args`), so both
+        commands compile flags to the engine identically.
+        """
+        p.add_argument("--algorithm", choices=("ppi", "km"), default="ppi")
+        p.add_argument("--batch-window", type=float, default=2.0)
+        p.add_argument("--assignment-window", type=float, default=10.0)
+        p.add_argument(
+            "--trigger", choices=("fixed", "adaptive"), default="fixed",
+            help="batch trigger policy (adaptive fires early under load)",
+        )
+        p.add_argument("--pending-threshold", type=int, default=None)
+        p.add_argument("--deadline-slack", type=float, default=None)
+        p.add_argument(
+            "--max-pending", type=int, default=None,
+            help="bound the pending queue; overflow sheds the least-slack task",
+        )
+        p.add_argument("--cache-ttl", type=float, default=0.0,
+                       help="prediction cache TTL (minutes)")
+        p.add_argument("--cache-deviation", type=float, default=None,
+                       help="invalidate cached predictions on check-in deviation beyond this (km)")
+        p.add_argument("--use-index", action="store_true",
+                       help="sparse candidate graph from the uniform-grid index")
+        p.add_argument("--index-cell", type=float, default=1.0, help="grid cell size (km)")
+        p.add_argument("--max-candidates", type=int, default=None,
+                       help="keep only the k nearest candidate workers per task")
+        p.add_argument("--shards", type=int, default=1,
+                       help=">1 serves through the sharded engine (per-stripe candidate "
+                            "builds merged to the identical dense plan)")
+        p.add_argument("--backend", choices=("serial", "process", "shard_server"),
+                       default="serial",
+                       help="where per-shard candidate jobs run (with --shards)")
+        p.add_argument("--dist-workers", type=int, default=1,
+                       help="process-pool size for per-shard jobs (with --backend process)")
+        p.add_argument("--shard-servers", action="store_true",
+                       help="shorthand for --backend shard_server: long-lived stateful "
+                            "shard processes fed incremental deltas")
+        p.add_argument("--warm-start", action="store_true",
+                       help="carry Hungarian dual potentials across batches; unchanged "
+                            "components skip the solve (plans unchanged)")
+
     serve = sub.add_parser(
         "serve-sim",
         help="stream a synthetic scenario through the event-driven serving engine",
     )
-    serve.add_argument("--n-workers", type=int, default=200)
-    serve.add_argument("--n-tasks", type=int, default=400)
-    serve.add_argument("--horizon", type=float, default=60.0, help="minutes of simulated stream")
-    serve.add_argument("--extent", type=float, default=20.0, help="city extent (km, square)")
-    serve.add_argument("--detour", type=float, default=4.0, help="worker detour budget (km)")
-    serve.add_argument("--algorithm", choices=("ppi", "km"), default="ppi")
-    serve.add_argument("--batch-window", type=float, default=2.0)
-    serve.add_argument("--assignment-window", type=float, default=10.0)
-    serve.add_argument(
-        "--trigger", choices=("fixed", "adaptive"), default="fixed",
-        help="batch trigger policy (adaptive fires early under load)",
-    )
-    serve.add_argument("--pending-threshold", type=int, default=None)
-    serve.add_argument("--deadline-slack", type=float, default=None)
-    serve.add_argument(
-        "--max-pending", type=int, default=None,
-        help="bound the pending queue; overflow sheds the least-slack task",
-    )
-    serve.add_argument("--cache-ttl", type=float, default=0.0, help="prediction cache TTL (minutes)")
-    serve.add_argument("--cache-deviation", type=float, default=None,
-                       help="invalidate cached predictions on check-in deviation beyond this (km)")
-    serve.add_argument("--use-index", action="store_true",
-                       help="sparse candidate graph from the uniform-grid index")
-    serve.add_argument("--index-cell", type=float, default=1.0, help="grid cell size (km)")
-    serve.add_argument("--max-candidates", type=int, default=None,
-                       help="keep only the k nearest candidate workers per task")
-    serve.add_argument("--shards", type=int, default=1,
-                       help=">1 serves through the sharded engine (per-stripe candidate "
-                            "builds merged to the identical dense plan)")
-    serve.add_argument("--backend", choices=("serial", "process", "shard_server"),
-                       default="serial",
-                       help="where per-shard candidate jobs run (with --shards)")
-    serve.add_argument("--dist-workers", type=int, default=1,
-                       help="process-pool size for per-shard jobs (with --backend process)")
-    serve.add_argument("--shard-servers", action="store_true",
-                       help="shorthand for --backend shard_server: long-lived stateful "
-                            "shard processes fed incremental deltas")
-    serve.add_argument("--warm-start", action="store_true",
-                       help="carry Hungarian dual potentials across batches; unchanged "
-                            "components skip the solve (plans unchanged)")
+    add_stream_flags(serve)
+    add_serve_policy_flags(serve)
     serve.add_argument("--spool-dir", metavar="DIR", default=None,
                        help="per-process telemetry spool directory for distributed runs "
                             "(default with --trace and a non-serial backend: <trace>.spools)")
@@ -180,8 +195,65 @@ def build_parser() -> argparse.ArgumentParser:
                        help="calibration drift detector (with --monitor)")
     serve.add_argument("--no-calibration", action="store_true",
                        help="disable calibration tracking in the monitor")
-    serve.add_argument("--seed", type=int, default=1)
     add_output_flags(serve)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="declarative scenario × policy specs: run sweeps, list built-ins",
+    )
+    ssub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+
+    s_run = ssub.add_parser(
+        "run",
+        help="run a spec file or a flag-built scenario × policy, optionally as a sweep grid",
+    )
+    s_run.add_argument("spec", nargs="?", default=None,
+                       help="YAML/JSON run spec (built-in scenario/policy names allowed inside)")
+    s_run.add_argument("--scenario", default=None,
+                       help="built-in scenario name (replaces the stream flags)")
+    s_run.add_argument("--policy", default=None,
+                       help="built-in policy name (replaces the policy flags)")
+    s_run.add_argument("--name", default=None, help="sweep name recorded in cell manifests")
+    s_run.add_argument("--sweep", action="append", default=[], metavar="PATH=V1,V2",
+                       help="add a sweep axis (dotted override path = comma-separated "
+                            "values); repeatable, cells are the cross product")
+    s_run.add_argument("--out", metavar="DIR", default=None,
+                       help="write one run manifest per cell into DIR")
+    s_run.add_argument("--cell-backend", choices=("serial", "process"), default="serial",
+                       help="where grid cells execute (process fans out over a pool, "
+                            "bit-identical to serial)")
+    s_run.add_argument("--cell-workers", type=int, default=2,
+                       help="pool size for --cell-backend process")
+    add_stream_flags(s_run)
+    add_serve_policy_flags(s_run)
+    s_run.add_argument("--json", action="store_true",
+                       help="emit one JSON document instead of text")
+
+    s_list = ssub.add_parser("list", help="list generators and built-in scenarios/policies")
+    s_list.add_argument("--json", action="store_true",
+                        help="emit one JSON document instead of text")
+
+    s_show = ssub.add_parser(
+        "show",
+        help="resolve a spec (file, names, or flags) and print/dump its document",
+    )
+    s_show.add_argument("spec", nargs="?", default=None)
+    s_show.add_argument("--scenario", default=None)
+    s_show.add_argument("--policy", default=None)
+    s_show.add_argument("--name", default=None)
+    s_show.add_argument("--out", metavar="PATH", default=None,
+                        help="also write the document (YAML for .yaml/.yml, else JSON)")
+    add_stream_flags(s_show)
+    add_serve_policy_flags(s_show)
+    s_show.add_argument("--json", action="store_true")
+
+    s_report = sub.add_parser(
+        "scenarios-report",
+        help="comparison table from a finished sweep's per-cell manifests",
+    )
+    s_report.add_argument("out_dir", help="directory `scenarios run --out` wrote manifests into")
+    s_report.add_argument("--json", action="store_true",
+                          help="emit one JSON document instead of text")
 
     serve_report = sub.add_parser(
         "serve-report",
@@ -377,60 +449,29 @@ def _monitor_config(args: argparse.Namespace):
 
 
 def cmd_serve_sim(args: argparse.Namespace) -> int:
-    from repro.assignment.baselines import km_assign, km_assign_candidates
-    from repro.assignment.ppi import ppi_assign, ppi_assign_candidates
-    from repro.serve import (
-        DeadReckoningProvider,
-        ServeConfig,
-        ServeEngine,
-        StreamConfig,
-        make_task_stream,
-        make_worker_fleet,
+    from repro.scenarios import (
+        build_engine,
+        materialize,
+        policy_from_args,
+        scenario_from_args,
     )
 
     reporter = Reporter(json_mode=args.json)
 
     def body() -> dict:
-        stream = StreamConfig(
-            n_workers=args.n_workers,
-            n_tasks=args.n_tasks,
-            t_end=args.horizon,
-            width_km=args.extent,
-            height_km=args.extent,
-            detour_km=args.detour,
-            seed=args.seed,
-        )
-        tasks = make_task_stream(stream)
-        workers = make_worker_fleet(stream)
-        assign_fn, candidate_fn = {
-            "ppi": (ppi_assign, ppi_assign_candidates),
-            "km": (km_assign, km_assign_candidates),
-        }[args.algorithm]
-        config = ServeConfig(
-            batch_window=args.batch_window,
-            assignment_window=args.assignment_window,
-            trigger=args.trigger,
-            pending_threshold=args.pending_threshold,
-            deadline_slack=args.deadline_slack,
-            max_pending=args.max_pending,
-            cache_ttl=args.cache_ttl,
-            cache_deviation_km=args.cache_deviation,
-            use_index=args.use_index,
-            index_cell_km=args.index_cell,
-            max_candidates=args.max_candidates,
-            monitor=_monitor_config(args),
-        )
-        backend_name = "shard_server" if args.shard_servers else args.backend
+        scenario = scenario_from_args(args)
+        policy = policy_from_args(args)
+        data = materialize(scenario)
+        monitor = _monitor_config(args)
         dist_obs = None
-        if args.shards > 1:
-            from repro.dist import DistConfig, ShardedEngine, component_candidate_assign
+        if policy.dist.shards > 1:
             from repro.obs.dist import DistObsConfig
 
             spool_dir = args.spool_dir
             if (
                 spool_dir is None
                 and args.trace
-                and backend_name != "serial"
+                and policy.dist.backend != "serial"
                 and not args.no_spool
             ):
                 spool_dir = f"{args.trace}.spools"
@@ -443,40 +484,13 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                     profile_every=args.profile_every,
                     profile_top_n=args.profile_top,
                 )
-            engine = ShardedEngine(
-                workers,
-                DeadReckoningProvider(seed=args.seed),
-                config,
-                assign_fn=assign_fn,
-                candidate_assign_fn=component_candidate_assign(
-                    args.algorithm, warm_start=args.warm_start
-                ),
-                dist=DistConfig(
-                    backend=backend_name,
-                    workers=args.dist_workers,
-                    shards=args.shards,
-                    warm_start=args.warm_start,
-                    obs=dist_obs,
-                ),
-            )
-        else:
-            if args.warm_start:
-                from repro.dist import component_candidate_assign
-
-                candidate_fn = component_candidate_assign(
-                    args.algorithm, warm_start=True
-                )
-            engine = ServeEngine(
-                workers,
-                DeadReckoningProvider(seed=args.seed),
-                config,
-                assign_fn=assign_fn,
-                candidate_assign_fn=candidate_fn,
-            )
+        engine = build_engine(
+            data.workers, data.provider, policy, monitor=monitor, dist_obs=dist_obs
+        )
         try:
-            result = engine.run(tasks, 0.0, args.horizon)
+            result = engine.run(data.tasks, data.t_start, data.t_end)
         finally:
-            if args.shards > 1:
+            if policy.dist.shards > 1:
                 engine.close()
         reporter.add("algorithm", args.algorithm)
         reporter.add("trigger", args.trigger)
@@ -484,10 +498,10 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             f"algorithm={args.algorithm} trigger={args.trigger} "
             f"use_index={args.use_index} cache_ttl={args.cache_ttl}"
         )
-        if args.shards > 1:
+        if policy.dist.shards > 1:
             reporter.line(
-                f"shards={args.shards} backend={backend_name} "
-                f"warm_start={args.warm_start} "
+                f"shards={policy.dist.shards} backend={policy.dist.backend} "
+                f"warm_start={policy.dist.warm_start} "
                 f"boundary_workers={engine.boundary_workers_total}"
             )
         if dist_obs is not None:
@@ -505,7 +519,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             candidate_sparsity=result.candidate_sparsity,
             cache_hit_rate=result.cache_hit_rate,
         )
-        if config.monitor is not None:
+        if monitor is not None:
             rows.update(
                 n_monitor_samples=float(result.n_monitor_samples),
                 n_drift_events=float(result.n_drift_events),
@@ -520,6 +534,138 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         return rows
 
     _observed(args, reporter, body)
+    reporter.finish()
+    return 0
+
+
+def _resolve_cli_spec(args: argparse.Namespace):
+    """The run spec a ``scenarios run/show`` invocation describes.
+
+    Precedence: a spec file wins outright; otherwise built-in names
+    replace their flag group and the remaining flags fill the rest —
+    the same flags → spec translation serve-sim compiles through.
+    """
+    from repro.scenarios import (
+        RunSpec,
+        get_policy,
+        get_scenario,
+        load_spec,
+        policy_from_args,
+        scenario_from_args,
+    )
+
+    if args.spec:
+        return load_spec(args.spec)
+    scenario = get_scenario(args.scenario) if args.scenario else scenario_from_args(args)
+    policy = get_policy(args.policy) if args.policy else policy_from_args(args)
+    return RunSpec(scenario=scenario, policy=policy, name=args.name)
+
+
+def cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import parse_sweep_arg, render_table, report_payload, run_sweep
+
+    reporter = Reporter(json_mode=args.json)
+    spec = _resolve_cli_spec(args)
+    extra_sweep = dict(parse_sweep_arg(s) for s in args.sweep)
+    rows = run_sweep(
+        spec,
+        out_dir=args.out,
+        extra_sweep=extra_sweep,
+        cell_backend=args.cell_backend,
+        cell_workers=args.cell_workers,
+        argv=getattr(args, "_argv", []),
+    )
+    source = args.spec or spec.name or "flags"
+    for key, value in report_payload(rows, source=source).items():
+        reporter.add(key, value)
+    reporter.line(render_table(rows, title=f"scenario sweep: {source} ({len(rows)} cells)"))
+    if args.out:
+        reporter.add("out_dir", args.out)
+        reporter.line(f"[manifests: {args.out}]")
+    reporter.finish()
+    return 0
+
+
+def cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import BUILTIN_POLICIES, BUILTIN_SCENARIOS, GENERATORS
+
+    reporter = Reporter(json_mode=args.json)
+    reporter.add(
+        "generators",
+        {name: entry.description for name, entry in GENERATORS.items()},
+    )
+    reporter.add(
+        "scenarios", {name: spec.to_dict() for name, spec in BUILTIN_SCENARIOS.items()}
+    )
+    reporter.add(
+        "policies", {name: spec.to_dict() for name, spec in BUILTIN_POLICIES.items()}
+    )
+    reporter.line("generators:")
+    for name, entry in GENERATORS.items():
+        reporter.line(f"  {name:<16} {entry.description}")
+    reporter.line("scenarios:")
+    for name, spec in BUILTIN_SCENARIOS.items():
+        p = spec.params
+        shape = f"{p.get('n_workers', '?')}w × {p.get('n_tasks', '?')}t"
+        reporter.line(f"  {name:<18} {spec.generator:<15} {shape} seed={spec.seed}")
+    reporter.line("policies:")
+    for name, spec in BUILTIN_POLICIES.items():
+        traits = [spec.algorithm, spec.trigger.kind]
+        if spec.index.enabled:
+            traits.append(f"index={spec.index.cell_km}km")
+        if spec.cache.ttl:
+            traits.append(f"cache={spec.cache.ttl}m")
+        if spec.dist.shards > 1:
+            traits.append(f"shards={spec.dist.shards}")
+        if spec.dist.warm_start:
+            traits.append("warm")
+        reporter.line(f"  {name:<18} {' '.join(traits)}")
+    reporter.finish()
+    return 0
+
+
+def cmd_scenarios_show(args: argparse.Namespace) -> int:
+    from repro.scenarios import dump_spec
+
+    reporter = Reporter(json_mode=args.json)
+    spec = _resolve_cli_spec(args)
+    document = dump_spec(spec, path=args.out)
+    for key, value in document.items():
+        reporter.add(key, value)
+    reporter.line(json.dumps(document, indent=2))
+    if args.out:
+        reporter.add("written", args.out)
+        reporter.line(f"[written: {args.out}]")
+    reporter.finish()
+    return 0
+
+
+SCENARIOS_COMMANDS = {
+    "run": cmd_scenarios_run,
+    "list": cmd_scenarios_list,
+    "show": cmd_scenarios_show,
+}
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    return SCENARIOS_COMMANDS[args.scenarios_command](args)
+
+
+def cmd_scenarios_report(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        load_cell_manifests,
+        render_table,
+        report_payload,
+        rows_from_manifests,
+    )
+
+    reporter = Reporter(json_mode=args.json)
+    rows = rows_from_manifests(load_cell_manifests(args.out_dir))
+    for key, value in report_payload(rows, source=args.out_dir).items():
+        reporter.add(key, value)
+    reporter.line(
+        render_table(rows, title=f"scenario sweep: {args.out_dir} ({len(rows)} cells)")
+    )
     reporter.finish()
     return 0
 
@@ -635,6 +781,8 @@ COMMANDS = {
     "serve-sim": cmd_serve_sim,
     "serve-report": cmd_serve_report,
     "trace-report": cmd_trace_report,
+    "scenarios": cmd_scenarios,
+    "scenarios-report": cmd_scenarios_report,
 }
 
 

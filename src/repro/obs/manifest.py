@@ -58,6 +58,10 @@ class RunManifest:
     #: Per-shard profiler hotspots harvested from shard servers
     #: (``DistObsConfig.profile``), newest rounds last.
     profile: list = field(default_factory=list)
+    #: Free-form string labels identifying the run within a family
+    #: (sweep name, cell index, cell label — see
+    #: :mod:`repro.scenarios.sweep`); report tooling groups on these.
+    labels: dict = field(default_factory=dict)
 
     @classmethod
     def start(
@@ -67,6 +71,7 @@ class RunManifest:
         config: dict | None = None,
         seed: int | None = None,
         repo_dir: str | Path | None = None,
+        labels: dict | None = None,
     ) -> "RunManifest":
         """A manifest stamped with the environment at run start."""
         return cls(
@@ -78,6 +83,7 @@ class RunManifest:
             python=sys.version.split()[0],
             platform=platform.platform(),
             started_unix=time.time(),
+            labels=dict(labels) if labels is not None else {},
         )
 
     def finalize(

@@ -9,10 +9,12 @@ the hyper-parameters Section IV fixes (2-minute batch window,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.dist.backend import DistConfig
 from repro.meta.gtmc import GTMCConfig
 from repro.meta.maml import MAMLConfig
+from repro.tools import check_keys, dataclass_from_mapping
 
 
 @dataclass(frozen=True)
@@ -87,6 +89,25 @@ class PredictionConfig:
         if self.fine_tune_optimizer not in ("sgd", "adam"):
             raise ValueError("fine_tune_optimizer must be 'sgd' or 'adam'")
 
+    @classmethod
+    def from_dict(cls, data: Mapping, owner: str = "prediction") -> "PredictionConfig":
+        """Build from a plain mapping; unknown keys fail naming themselves.
+
+        Nested blocks (``maml``, ``gtmc``, ``dist``) may be given as
+        mappings and are validated against their own config dataclasses.
+        """
+        data = dict(data)
+        for name, block_cls in (
+            ("maml", MAMLConfig),
+            ("gtmc", GTMCConfig),
+            ("dist", DistConfig),
+        ):
+            if isinstance(data.get(name), Mapping):
+                data[name] = dataclass_from_mapping(
+                    block_cls, data[name], owner=f"{owner}.{name}"
+                )
+        return dataclass_from_mapping(cls, data, owner=owner)
+
 
 @dataclass(frozen=True)
 class AssignmentConfig:
@@ -114,6 +135,10 @@ class AssignmentConfig:
         if self.assignment_window is not None and self.assignment_window <= 0:
             raise ValueError("assignment window must be positive (or None)")
 
+    @classmethod
+    def from_dict(cls, data: Mapping, owner: str = "assignment") -> "AssignmentConfig":
+        return dataclass_from_mapping(cls, data, owner=owner)
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -121,3 +146,11 @@ class ExperimentConfig:
 
     prediction: PredictionConfig = field(default_factory=PredictionConfig)
     assignment: AssignmentConfig = field(default_factory=AssignmentConfig)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentConfig":
+        check_keys("experiment", data, ["prediction", "assignment"])
+        return cls(
+            prediction=PredictionConfig.from_dict(data.get("prediction", {})),
+            assignment=AssignmentConfig.from_dict(data.get("assignment", {})),
+        )

@@ -1,0 +1,182 @@
+"""Compile specs to engine configs — the one flags/specs → engine path.
+
+Everything that turns a :class:`~repro.scenarios.specs.PolicySpec` into
+runnable machinery lives here: ``ServeConfig``/``DistConfig``
+construction, assignment-function selection, and engine assembly
+(serial :class:`~repro.serve.ServeEngine` or sharded
+:class:`~repro.dist.ShardedEngine`).  ``repro.cli serve-sim``, the
+``scenarios run`` sweep runner, and the benches all build through these
+functions, so a policy knob behaves identically no matter which door
+the run came in through.
+
+``scenario_from_args`` / ``policy_from_args`` lift an argparse
+namespace (the shared serve flag group in :mod:`repro.cli`) into specs,
+collapsing the old per-command flag plumbing into one translation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.scenarios.registry import ScenarioData, materialize
+from repro.scenarios.specs import (
+    CacheSpec,
+    DistSpec,
+    IndexSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SheddingSpec,
+    TriggerSpec,
+)
+from repro.serve import ServeConfig, ServeEngine
+
+
+def assign_fns(algorithm: str) -> tuple[Callable, Callable]:
+    """The dense and candidate-aware assign functions for an algorithm."""
+    from repro.assignment.baselines import km_assign, km_assign_candidates
+    from repro.assignment.ppi import ppi_assign, ppi_assign_candidates
+
+    try:
+        return {
+            "ppi": (ppi_assign, ppi_assign_candidates),
+            "km": (km_assign, km_assign_candidates),
+        }[algorithm]
+    except KeyError:
+        raise ValueError(f"unknown assignment algorithm '{algorithm}'") from None
+
+
+def build_serve_config(policy: PolicySpec, monitor=None) -> ServeConfig:
+    """The :class:`ServeConfig` a policy spec compiles to."""
+    return ServeConfig(
+        batch_window=policy.trigger.window,
+        assignment_window=policy.assignment_window,
+        trigger=policy.trigger.kind,
+        pending_threshold=policy.trigger.pending_threshold,
+        deadline_slack=policy.trigger.deadline_slack,
+        min_trigger_interval=policy.trigger.min_interval,
+        max_pending=policy.shedding.max_pending,
+        cache_ttl=policy.cache.ttl,
+        cache_deviation_km=policy.cache.deviation_km,
+        use_index=policy.index.enabled,
+        index_cell_km=policy.index.cell_km,
+        max_candidates=policy.index.max_candidates,
+        monitor=monitor,
+    )
+
+
+def build_dist_config(policy: PolicySpec, dist_obs=None):
+    """The :class:`repro.dist.DistConfig` of a sharded policy, else None."""
+    if policy.dist.shards <= 1:
+        return None
+    from repro.dist import DistConfig
+
+    return DistConfig(
+        backend=policy.dist.backend,
+        workers=policy.dist.workers,
+        shards=policy.dist.shards,
+        warm_start=policy.dist.warm_start,
+        obs=dist_obs,
+    )
+
+
+def build_engine(workers, provider, policy: PolicySpec, monitor=None, dist_obs=None):
+    """Assemble the engine a policy asks for.
+
+    Returns a :class:`ServeEngine` for single-shard policies and a
+    :class:`repro.dist.ShardedEngine` when ``policy.dist.shards > 1``
+    (the caller owns ``engine.close()``).  Warm-started single-shard
+    policies route through the component matcher, mirroring the sharded
+    path so ``warm_start`` means the same thing at every shard count.
+    """
+    assign_fn, candidate_fn = assign_fns(policy.algorithm)
+    config = build_serve_config(policy, monitor=monitor)
+    dist = build_dist_config(policy, dist_obs=dist_obs)
+    if dist is not None:
+        from repro.dist import ShardedEngine, component_candidate_assign
+
+        return ShardedEngine(
+            workers,
+            provider,
+            config,
+            assign_fn=assign_fn,
+            candidate_assign_fn=component_candidate_assign(
+                policy.algorithm, warm_start=policy.dist.warm_start
+            ),
+            dist=dist,
+        )
+    if policy.dist.warm_start:
+        from repro.dist import component_candidate_assign
+
+        candidate_fn = component_candidate_assign(policy.algorithm, warm_start=True)
+    return ServeEngine(
+        workers,
+        provider,
+        config,
+        assign_fn=assign_fn,
+        candidate_assign_fn=candidate_fn,
+    )
+
+
+def run_scenario(scenario: ScenarioSpec, policy: PolicySpec, monitor=None, dist_obs=None):
+    """Materialise a scenario, run it under a policy, return the result.
+
+    The single entry point behind ``scenarios run`` cells and the
+    spec-driven benches: one call owns engine lifetime (sharded engines
+    are closed) and returns the engine's ``ServeResult``.
+    """
+    data: ScenarioData = materialize(scenario)
+    engine = build_engine(
+        data.workers, data.provider, policy, monitor=monitor, dist_obs=dist_obs
+    )
+    try:
+        return engine.run(data.tasks, data.t_start, data.t_end)
+    finally:
+        if policy.dist.shards > 1:
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# argparse → specs: the translation the CLI's shared flag group uses.
+
+def scenario_from_args(args) -> ScenarioSpec:
+    """The ``ScenarioSpec`` equivalent of the serve-sim stream flags."""
+    return ScenarioSpec(
+        generator="uniform",
+        seed=args.seed,
+        params=dict(
+            n_workers=args.n_workers,
+            n_tasks=args.n_tasks,
+            t_end=args.horizon,
+            width_km=args.extent,
+            height_km=args.extent,
+            detour_km=args.detour,
+        ),
+    )
+
+
+def policy_from_args(args) -> PolicySpec:
+    """The ``PolicySpec`` equivalent of the serve-sim policy flags."""
+    backend = "shard_server" if getattr(args, "shard_servers", False) else args.backend
+    return PolicySpec(
+        algorithm=args.algorithm,
+        assignment_window=args.assignment_window,
+        trigger=TriggerSpec(
+            kind=args.trigger,
+            window=args.batch_window,
+            pending_threshold=args.pending_threshold,
+            deadline_slack=args.deadline_slack,
+        ),
+        shedding=SheddingSpec(max_pending=args.max_pending),
+        cache=CacheSpec(ttl=args.cache_ttl, deviation_km=args.cache_deviation),
+        index=IndexSpec(
+            enabled=args.use_index,
+            cell_km=args.index_cell,
+            max_candidates=args.max_candidates,
+        ),
+        dist=DistSpec(
+            backend=backend,
+            shards=args.shards,
+            workers=args.dist_workers,
+            warm_start=args.warm_start,
+        ),
+    )

@@ -1,0 +1,94 @@
+"""Comparison tables over sweep cells.
+
+``scenarios run`` renders its in-memory cell summaries and
+``scenarios-report`` reconstructs the same rows from the per-cell
+manifests a finished sweep left on disk — one row format, two sources,
+so a live run and a post-hoc report of the same grid print the same
+table and emit the same ``--json`` payload.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs import RunManifest, read_manifest
+
+#: metric column → (header, format) in display order.
+_COLUMNS = (
+    ("completion_ratio", "complete", "{:>8.3f}"),
+    ("worker_cost_km", "cost km", "{:>8.3f}"),
+    ("n_batches", "batches", "{:>7.0f}"),
+    ("cache_hit_rate", "cache", "{:>6.3f}"),
+    ("throughput_tasks_per_s", "tasks/s", "{:>9.1f}"),
+)
+
+
+def load_cell_manifests(out_dir: str | Path) -> list[RunManifest]:
+    """Every ``cell*.manifest.json`` under a sweep directory, in cell order."""
+    out_dir = Path(out_dir)
+    if not out_dir.is_dir():
+        raise FileNotFoundError(f"no sweep directory at {out_dir}")
+    paths = sorted(out_dir.glob("cell*.manifest.json"))
+    if not paths:
+        raise FileNotFoundError(f"no cell manifests under {out_dir}")
+    manifests = [read_manifest(p) for p in paths]
+    return sorted(manifests, key=lambda m: int(m.labels.get("cell", 0)))
+
+
+def rows_from_manifests(manifests: Sequence[RunManifest]) -> list[dict]:
+    """Cell summaries (the ``run_sweep`` row shape) from manifests."""
+    rows = []
+    for m in manifests:
+        metrics = dict(m.metrics)
+        digest = metrics.pop("signature_digest", None)
+        rows.append(
+            {
+                "cell": int(m.labels.get("cell", 0)),
+                "label": m.labels.get("cell_label", ""),
+                "signature_digest": digest,
+                "wall_s": m.duration_s,
+                "metrics": metrics,
+            }
+        )
+    return rows
+
+
+def render_table(rows: Sequence[dict], title: str = "scenario sweep") -> str:
+    """One fixed-width comparison table over cell summary rows."""
+    label_w = max([len("cell"), *(len(str(r["label"])) for r in rows)])
+    header = f"{'cell':<{label_w}}"
+    for _, name, fmt in _COLUMNS:
+        width = len(fmt.format(0.0))
+        header += f" {name:>{width}}"
+    header += "  signature"
+    lines = [title, header, "-" * len(header)]
+    for row in rows:
+        line = f"{str(row['label']):<{label_w}}"
+        for key, _, fmt in _COLUMNS:
+            value = row["metrics"].get(key)
+            line += " " + (fmt.format(value) if value is not None else
+                           " " * (len(fmt.format(0.0)) - 1) + "-")
+        digest = row.get("signature_digest")
+        line += f"  {digest[:12] if digest else '-'}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def report_payload(rows: Sequence[dict], source: str | None = None) -> dict:
+    """The machine-readable form of the comparison (``--json``)."""
+    return {
+        "source": source,
+        "n_cells": len(rows),
+        "cells": [
+            {
+                "cell": row["cell"],
+                "label": row["label"],
+                "signature_digest": row["signature_digest"],
+                "wall_s": row["wall_s"],
+                "metrics": row["metrics"],
+                "manifest": row.get("manifest"),
+            }
+            for row in rows
+        ],
+    }

@@ -40,7 +40,13 @@ from repro.serve.spatial_index import (
 )
 from repro.serve.streams import (
     DeadReckoningProvider,
+    HotCellBurstConfig,
+    RushHourConfig,
     StreamConfig,
+    WorkerChurnConfig,
+    make_churn_worker_fleet,
+    make_hot_cell_task_stream,
+    make_rush_hour_task_stream,
     make_task_stream,
     make_worker_fleet,
 )
@@ -56,7 +62,10 @@ __all__ = [
     "EventPhase",
     "EventQueue",
     "FixedWindowTrigger",
+    "HotCellBurstConfig",
     "PredictionCache",
+    "RushHourConfig",
+    "WorkerChurnConfig",
     "ServeConfig",
     "ServeEngine",
     "ServeResult",
@@ -71,6 +80,9 @@ __all__ = [
     "build_candidates",
     "cells_in_radius",
     "latest_horizon",
+    "make_churn_worker_fleet",
+    "make_hot_cell_task_stream",
+    "make_rush_hour_task_stream",
     "make_task_stream",
     "make_worker_fleet",
     "result_signature",

@@ -85,6 +85,30 @@ def make_task_stream(cfg: StreamConfig) -> list[SpatialTask]:
     ]
 
 
+def _waypoint_routine(
+    rng: np.random.Generator, cfg: StreamConfig, shift_start: float, shift_len: float
+) -> Trajectory:
+    """The waypoint walk of one shift (draws ``n_waypoints`` points)."""
+    waypoints = np.column_stack(
+        [
+            rng.uniform(0.0, cfg.width_km, size=cfg.n_waypoints),
+            rng.uniform(0.0, cfg.height_km, size=cfg.n_waypoints),
+        ]
+    )
+    n_samples = max(int(shift_len / cfg.route_step_minutes) + 1, 2)
+    # Walk the waypoint chain at constant parameter speed; sample
+    # times are evenly spaced over the shift.
+    ts = np.linspace(shift_start, shift_start + shift_len, n_samples)
+    frac = np.linspace(0.0, cfg.n_waypoints - 1.0, n_samples)
+    lo = np.minimum(frac.astype(int), cfg.n_waypoints - 2)
+    w = frac - lo
+    xy = waypoints[lo] * (1.0 - w[:, None]) + waypoints[lo + 1] * w[:, None]
+    return Trajectory(
+        TrajectoryPoint(Point(float(x), float(y)), float(t))
+        for (x, y), t in zip(xy, ts)
+    )
+
+
 def make_worker_fleet(cfg: StreamConfig) -> list[Worker]:
     """Workers with waypoint routines and staggered shift windows."""
     rng = np.random.default_rng(cfg.seed + 1)
@@ -93,24 +117,163 @@ def make_worker_fleet(cfg: StreamConfig) -> list[Worker]:
     for worker_id in range(cfg.n_workers):
         shift_len = rng.uniform(cfg.min_shift_fraction, 1.0) * span
         shift_start = cfg.t_start + rng.uniform(0.0, span - shift_len)
-        waypoints = np.column_stack(
-            [
-                rng.uniform(0.0, cfg.width_km, size=cfg.n_waypoints),
-                rng.uniform(0.0, cfg.height_km, size=cfg.n_waypoints),
-            ]
+        routine = _waypoint_routine(rng, cfg, shift_start, shift_len)
+        workers.append(
+            Worker(
+                worker_id=worker_id,
+                routine=routine,
+                detour_budget_km=cfg.detour_km,
+                speed_km_per_min=cfg.speed_km_per_min,
+            )
         )
-        n_samples = max(int(shift_len / cfg.route_step_minutes) + 1, 2)
-        # Walk the waypoint chain at constant parameter speed; sample
-        # times are evenly spaced over the shift.
-        ts = np.linspace(shift_start, shift_start + shift_len, n_samples)
-        frac = np.linspace(0.0, cfg.n_waypoints - 1.0, n_samples)
-        lo = np.minimum(frac.astype(int), cfg.n_waypoints - 2)
-        w = frac - lo
-        xy = waypoints[lo] * (1.0 - w[:, None]) + waypoints[lo + 1] * w[:, None]
-        routine = Trajectory(
-            TrajectoryPoint(Point(float(x), float(y)), float(t))
-            for (x, y), t in zip(xy, ts)
+    return workers
+
+
+@dataclass(frozen=True)
+class HotCellBurstConfig(StreamConfig):
+    """Uniform stream plus demand bursts concentrated in hot cells.
+
+    During ``[burst_start, burst_start + burst_minutes]`` each arriving
+    task relocates, with probability ``hot_fraction``, into one of
+    ``n_hot_cells`` square cells of side ``hot_cell_km`` whose centres
+    are seeded draws over the extent — the DATA-WA-style demand-varying
+    setting (spatially clumped arrival spikes) the uniform stream
+    cannot express.  Outside the burst the stream is the uniform one.
+    """
+
+    n_hot_cells: int = 3
+    hot_fraction: float = 0.7
+    burst_start: float = 20.0
+    burst_minutes: float = 15.0
+    hot_cell_km: float = 2.0
+
+    def __post_init__(self) -> None:
+        StreamConfig.__post_init__(self)
+        if self.n_hot_cells < 1:
+            raise ValueError("need at least one hot cell")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must lie in [0, 1]")
+        if self.burst_minutes <= 0 or self.hot_cell_km <= 0:
+            raise ValueError("burst length and hot-cell size must be positive")
+
+
+def make_hot_cell_task_stream(cfg: HotCellBurstConfig) -> list[SpatialTask]:
+    """The uniform stream with burst-window tasks pulled into hot cells."""
+    tasks = make_task_stream(cfg)
+    # A separate generator keeps the base stream byte-identical to the
+    # uniform scenario at the same seed; only burst tasks move.
+    rng = np.random.default_rng(cfg.seed + 2)
+    half = cfg.hot_cell_km / 2.0
+    centres = np.column_stack(
+        [
+            rng.uniform(half, cfg.width_km - half, size=cfg.n_hot_cells),
+            rng.uniform(half, cfg.height_km - half, size=cfg.n_hot_cells),
+        ]
+    )
+    burst_end = cfg.burst_start + cfg.burst_minutes
+    relocated: list[SpatialTask] = []
+    for task in tasks:
+        in_burst = cfg.burst_start <= task.release_time <= burst_end
+        if in_burst and rng.random() < cfg.hot_fraction:
+            centre = centres[rng.integers(cfg.n_hot_cells)]
+            location = Point(
+                float(np.clip(centre[0] + rng.uniform(-half, half), 0.0, cfg.width_km)),
+                float(np.clip(centre[1] + rng.uniform(-half, half), 0.0, cfg.height_km)),
+            )
+            task = SpatialTask(
+                task_id=task.task_id,
+                location=location,
+                release_time=task.release_time,
+                deadline=task.deadline,
+            )
+        relocated.append(task)
+    return relocated
+
+
+@dataclass(frozen=True)
+class RushHourConfig(StreamConfig):
+    """Arrival times drawn from rush-hour waves over a uniform floor.
+
+    A fraction ``peak_weight`` of the tasks arrive in Gaussian waves
+    centred on ``peak_times`` (minutes, std ``peak_sigma``), the rest
+    uniformly — the AM/PM double peak of the Didi-like workload at
+    serving scale.  Locations and validity windows stay uniform.
+    """
+
+    peak_times: tuple[float, ...] = (15.0, 45.0)
+    peak_sigma: float = 4.0
+    peak_weight: float = 0.7
+
+    def __post_init__(self) -> None:
+        StreamConfig.__post_init__(self)
+        if not self.peak_times:
+            raise ValueError("need at least one peak time")
+        if self.peak_sigma <= 0:
+            raise ValueError("peak_sigma must be positive")
+        if not 0.0 <= self.peak_weight <= 1.0:
+            raise ValueError("peak_weight must lie in [0, 1]")
+
+
+def make_rush_hour_task_stream(cfg: RushHourConfig) -> list[SpatialTask]:
+    """Task stream whose arrival density carries rush-hour waves."""
+    rng = np.random.default_rng(cfg.seed)
+    in_wave = rng.random(cfg.n_tasks) < cfg.peak_weight
+    peaks = np.asarray(cfg.peak_times, dtype=float)
+    which = rng.integers(len(peaks), size=cfg.n_tasks)
+    wave_times = rng.normal(peaks[which], cfg.peak_sigma)
+    floor_times = rng.uniform(cfg.t_start, cfg.t_end, size=cfg.n_tasks)
+    releases = np.where(in_wave, wave_times, floor_times)
+    releases = np.sort(np.clip(releases, cfg.t_start, cfg.t_end))
+    xs = rng.uniform(0.0, cfg.width_km, size=cfg.n_tasks)
+    ys = rng.uniform(0.0, cfg.height_km, size=cfg.n_tasks)
+    valid = rng.uniform(cfg.valid_min, cfg.valid_max, size=cfg.n_tasks)
+    return [
+        SpatialTask(
+            task_id=i,
+            location=Point(float(xs[i]), float(ys[i])),
+            release_time=float(releases[i]),
+            deadline=float(releases[i] + valid[i]),
         )
+        for i in range(cfg.n_tasks)
+    ]
+
+
+@dataclass(frozen=True)
+class WorkerChurnConfig(StreamConfig):
+    """A fleet where part of the roster works short, staggered shifts.
+
+    Each worker is, with probability ``churn_rate``, a *churner*: their
+    shift covers only ``short_shift_fraction`` of the horizon, with
+    starts staggered uniformly — so the online roster turns over
+    continuously (check-in/check-out events throughout the run), the
+    regime warm-started matching and availability-window policies are
+    sensitive to.  Non-churners follow the base fleet's shift model.
+    """
+
+    churn_rate: float = 0.4
+    short_shift_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        StreamConfig.__post_init__(self)
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError("churn_rate must lie in [0, 1]")
+        if not 0.0 < self.short_shift_fraction <= 1.0:
+            raise ValueError("short_shift_fraction must lie in (0, 1]")
+
+
+def make_churn_worker_fleet(cfg: WorkerChurnConfig) -> list[Worker]:
+    """Workers with a churning tail of short staggered shifts."""
+    rng = np.random.default_rng(cfg.seed + 1)
+    span = cfg.t_end - cfg.t_start
+    workers: list[Worker] = []
+    for worker_id in range(cfg.n_workers):
+        if rng.random() < cfg.churn_rate:
+            shift_len = cfg.short_shift_fraction * span
+            shift_start = cfg.t_start + rng.uniform(0.0, span - shift_len)
+        else:
+            shift_len = rng.uniform(cfg.min_shift_fraction, 1.0) * span
+            shift_start = cfg.t_start + rng.uniform(0.0, span - shift_len)
+        routine = _waypoint_routine(rng, cfg, shift_start, shift_len)
         workers.append(
             Worker(
                 worker_id=worker_id,

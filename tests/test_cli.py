@@ -100,3 +100,104 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert "metrics" in payload and "n_batches" in payload["metrics"]
         assert trace.exists()
+
+
+class TestScenariosParser:
+    def test_scenarios_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+    def test_run_flags(self):
+        args = build_parser().parse_args([
+            "scenarios", "run", "--scenario", "smoke", "--policy", "indexed",
+            "--sweep", "scenario.seed=1,2", "--sweep", "policy.cache.ttl=0,6",
+            "--out", "sweep-out", "--cell-backend", "process",
+            "--cell-workers", "3",
+        ])
+        assert args.scenarios_command == "run"
+        assert args.scenario == "smoke" and args.policy == "indexed"
+        assert args.sweep == ["scenario.seed=1,2", "policy.cache.ttl=0,6"]
+        assert args.cell_backend == "process" and args.cell_workers == 3
+
+    def test_run_shares_serve_policy_flags(self):
+        args = build_parser().parse_args([
+            "scenarios", "run", "--trigger", "adaptive",
+            "--pending-threshold", "20", "--use-index",
+        ])
+        assert args.trigger == "adaptive"
+        assert args.pending_threshold == 20 and args.use_index
+
+    def test_report_takes_out_dir(self):
+        args = build_parser().parse_args(["scenarios-report", "some/dir", "--json"])
+        assert args.out_dir == "some/dir" and args.json
+
+
+class TestScenariosCommands:
+    def test_list_names_builtins(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out and "smoke" in out and "adaptive-indexed" in out
+
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["scenarios", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "hot_cell_burst" in payload["generators"]
+        assert payload["scenarios"]["smoke"]["seed"] == 7
+        assert payload["policies"]["indexed"]["index"]["enabled"] is True
+
+    def test_show_resolves_names_to_document(self, capsys):
+        import json
+
+        assert main([
+            "scenarios", "show", "--scenario", "smoke", "--policy", "indexed",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["generator"] == "uniform"
+        assert payload["scenario"]["seed"] == 7
+        assert payload["policy"]["index"]["cell_km"] == 2.0
+
+    def test_run_sweep_writes_manifests_and_table(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "cells"
+        assert main([
+            "scenarios", "run", "--scenario", "smoke", "--policy", "indexed",
+            "--sweep", "scenario.seed=1,2", "--out", str(out), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_cells"] == 2
+        digests = {c["signature_digest"] for c in payload["cells"]}
+        assert len(digests) == 2  # the seed axis changed the outcome
+        manifests = sorted(out.glob("cell*.manifest.json"))
+        assert len(manifests) == 2
+
+        # scenarios-report rebuilds the identical payload from disk.
+        assert main(["scenarios-report", str(out), "--json"]) == 0
+        reported = json.loads(capsys.readouterr().out)
+        assert {c["signature_digest"] for c in reported["cells"]} == digests
+
+    def test_run_spec_file_round_trips_through_show(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        assert main([
+            "scenarios", "show", "--scenario", "smoke", "--policy", "batch-parity",
+            "--out", str(spec_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "scenarios", "run", str(spec_path), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_cells"] == 1
+        assert payload["cells"][0]["metrics"]["completion_ratio"] >= 0.0
+
+    def test_run_rejects_bad_sweep_axis(self, capsys):
+        with pytest.raises(ValueError, match="scenario\\."):
+            main([
+                "scenarios", "run", "--scenario", "smoke",
+                "--sweep", "index.enabled=true,false",
+            ])

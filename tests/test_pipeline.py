@@ -246,3 +246,37 @@ class TestRunAssignment:
 
     def test_registry_is_complete(self):
         assert set(ASSIGNMENT_ALGORITHMS) == {"ppi", "ppi_loss", "km", "km_loss", "ggpso", "ub", "lb"}
+
+
+class TestConfigFromDict:
+    def test_experiment_from_dict_round(self):
+        from repro.pipeline.config import ExperimentConfig
+
+        config = ExperimentConfig.from_dict(
+            {
+                "prediction": {"algorithm": "maml", "seq_in": 3,
+                               "maml": {"iterations": 5}},
+                "assignment": {"batch_window": 4.0},
+            }
+        )
+        assert config.prediction.algorithm == "maml"
+        assert config.prediction.maml.iterations == 5
+        assert config.assignment.batch_window == 4.0
+
+    def test_unknown_key_names_itself(self):
+        import pytest
+
+        from repro.pipeline.config import ExperimentConfig
+
+        with pytest.raises(ValueError, match="seq_inn"):
+            ExperimentConfig.from_dict({"prediction": {"seq_inn": 3}})
+        with pytest.raises(ValueError, match="predicton"):
+            ExperimentConfig.from_dict({"predicton": {}})
+
+    def test_value_validation_still_runs(self):
+        import pytest
+
+        from repro.pipeline.config import PredictionConfig
+
+        with pytest.raises(ValueError, match="algorithm"):
+            PredictionConfig.from_dict({"algorithm": "nope"})
