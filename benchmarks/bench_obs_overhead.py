@@ -1,6 +1,6 @@
 """Benchmark: cost of observability, from no-op tracing to shard spools.
 
-Two arms, two bars, both written to ``BENCH_obs_overhead.json``:
+Three arms, three bars, all written to ``BENCH_obs_overhead.json``:
 
 * **no-op recorder** — the instrumentation left in the meta-training
   inner loop must be free when no recorder is installed.  A/B-times the
@@ -15,6 +15,13 @@ Two arms, two bars, both written to ``BENCH_obs_overhead.json``:
   wire frames of the pre-observability protocol — and the enabled cost
   must stay under ``MAX_DIST_OVERHEAD_PCT`` (bar asserted by the
   ``dist-obs-guard`` in :mod:`benchmarks.check_regression`).
+* **decision log** — the identical serve run with and without
+  ``ServeConfig.decisions`` (one provenance record per task appended
+  to a JSONL log).  Plan parity (``result_signature``) is asserted on
+  every pair — a decision log that changed the plan would be a
+  correctness bug — and the enabled cost must stay under
+  ``MAX_DECISIONS_OVERHEAD_PCT`` (bar asserted by the
+  ``decision-log-guard`` in :mod:`benchmarks.check_regression`).
 
 Run standalone::
 
@@ -76,6 +83,10 @@ DIST_SHAPE = {
 #: Acceptance bar for *enabled* distributed tracing on the end-to-end
 #: sharded run (spools + context frames + flushes).
 MAX_DIST_OVERHEAD_PCT = 10.0
+
+#: Acceptance bar for the *enabled* decision log on the end-to-end
+#: serve run (per-site record updates + one JSONL append per task).
+MAX_DECISIONS_OVERHEAD_PCT = 10.0
 
 
 def _plain_adapt(model, task, loss_fn, inner_lr, inner_steps, support_batch, rng, fast_path):
@@ -240,6 +251,58 @@ def run_dist(samples: int = 3) -> dict:
     }
 
 
+def _run_decisions_once(tasks, workers, log_path: str | None) -> tuple[float, str]:
+    """One single-process serve run; wall seconds + plan signature."""
+    from repro.assignment.ppi import ppi_assign_candidates
+    from repro.obs.decisions import DecisionConfig
+    from repro.serve import ServeEngine
+
+    decisions = DecisionConfig(path=log_path) if log_path is not None else None
+    engine = ServeEngine(
+        workers,
+        DeadReckoningProvider(seed=DIST_SHAPE["seed"]),
+        ServeConfig(use_index=True, cache_ttl=6.0, decisions=decisions),
+        assign_fn=ppi_assign,
+        candidate_assign_fn=ppi_assign_candidates,
+    )
+    start = time.perf_counter()
+    result = engine.run(tasks, 0.0, DIST_SHAPE["t_end"])
+    elapsed = time.perf_counter() - start
+    if decisions is not None:
+        assert result.n_decisions == len(tasks), "decision log missed tasks"
+    return elapsed, result_signature(result)
+
+
+def run_decisions(samples: int = 5) -> dict:
+    """Best-of-``samples`` serve run with the decision log off vs on.
+
+    Every off/on pair must produce the identical ``result_signature``
+    — the log observes decisions, it never makes them.
+    """
+    assert get_recorder() is NOOP, "bench must run with the no-op recorder installed"
+    tasks, workers = _dist_scenario()
+    best_off = best_on = float("inf")
+    for _ in range(samples):
+        off_s, off_sig = _run_decisions_once(tasks, workers, None)
+        with tempfile.TemporaryDirectory() as tmp:
+            on_s, on_sig = _run_decisions_once(
+                tasks, workers, str(Path(tmp) / "run.decisions.jsonl")
+            )
+        assert off_sig == on_sig, "the decision log changed the serving plan"
+        best_off = min(best_off, off_s)
+        best_on = min(best_on, on_s)
+    overhead_pct = (best_on / best_off - 1.0) * 100.0
+    return {
+        "shape": DIST_SHAPE,
+        "samples": samples,
+        "disabled_s": best_off,
+        "enabled_s": best_on,
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": MAX_DECISIONS_OVERHEAD_PCT,
+        "n_decisions": len(tasks),
+    }
+
+
 @pytest.mark.obs_bench
 def test_noop_recorder_overhead():
     # Host noise can swing a single A/B pass either way; only an
@@ -257,6 +320,7 @@ def test_noop_recorder_overhead():
 def main() -> int:
     result = run()
     result["dist"] = dist = run_dist()
+    result["decisions"] = decisions = run_decisions()
     OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
     print(
         f"instrumented {result['instrumented_s'] * 1e3:7.3f} ms"
@@ -269,10 +333,18 @@ def main() -> int:
         f" | overhead {dist['overhead_pct']:+.2f}% (bar {MAX_DIST_OVERHEAD_PCT:.1f}%)"
         f" | spools {dist['n_spools']}"
     )
+    print(
+        f"decisions on {decisions['enabled_s']:7.3f} s "
+        f" | off      {decisions['disabled_s']:7.3f} s "
+        f" | overhead {decisions['overhead_pct']:+.2f}%"
+        f" (bar {MAX_DECISIONS_OVERHEAD_PCT:.1f}%)"
+        f" | records {decisions['n_decisions']}"
+    )
     print(f"[saved to {OUTPUT}]")
     ok = (
         result["overhead_pct"] < MAX_OVERHEAD_PCT
         and dist["overhead_pct"] < MAX_DIST_OVERHEAD_PCT
+        and decisions["overhead_pct"] < MAX_DECISIONS_OVERHEAD_PCT
     )
     return 0 if ok else 1
 

@@ -299,6 +299,22 @@ GUARDS = [
             "on the sharded serve run (bar: {bar:.0f}%)"
         ),
     ),
+    GuardSpec(
+        name="decisions",
+        marker="decision_bench",
+        failure_title="decision-log overhead regressed",
+        mode="bar",
+        measure=lambda baseline: bench_obs_overhead.run_decisions(),
+        bar=bench_obs_overhead.MAX_DECISIONS_OVERHEAD_PCT,
+        bar_label="serve/decisions",
+        bar_desc="enabled overhead",
+        detail_key="n_decisions",
+        detail_desc="records",
+        fail_text=(
+            "serve/decisions: enabled decision log costs {pct:.2f}% "
+            "on the end-to-end serve run (bar: {bar:.0f}%)"
+        ),
+    ),
 ]
 
 

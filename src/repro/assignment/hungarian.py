@@ -189,6 +189,9 @@ class WarmStartState:
     ``identical_hits`` counts whole-solve reuses, ``warm_solves`` /
     ``cold_solves`` the seeded vs from-scratch solves, and
     ``rows_reaugmented`` the augmenting paths actually run.
+    ``last_tier`` names the tier the most recent solve took
+    (``"identical"`` / ``"warm"`` / ``"cold"``) so decision-log
+    consumers can label the batch that produced an assignment.
     """
 
     edges_key: tuple | None = None
@@ -201,6 +204,7 @@ class WarmStartState:
     cold_solves: int = 0
     rows_reaugmented: int = 0
     rows_total: int = 0
+    last_tier: str | None = None
 
 
 def _warm_matching(
@@ -287,8 +291,10 @@ def _warm_matching(
     warm.rows_total += n
     if seeds:
         warm.warm_solves += 1
+        warm.last_tier = "warm"
     else:
         warm.cold_solves += 1
+        warm.last_tier = "cold"
 
     warm.cols_side = cols_side
     warm.v_by_id = {col_ids[j]: float(v1[j + 1]) for j in range(m)}
@@ -329,6 +335,7 @@ def maximum_weight_matching(
         key = tuple((e.left, e.right, e.weight) for e in normalized)
         if warm.edges_key == key and warm.zero_ok == allow_zero_weight:
             warm.identical_hits += 1
+            warm.last_tier = "identical"
             return list(warm.matching)
     if not normalized:
         if warm is not None:

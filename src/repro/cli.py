@@ -195,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="calibration drift detector (with --monitor)")
     serve.add_argument("--no-calibration", action="store_true",
                        help="disable calibration tracking in the monitor")
+    serve.add_argument("--decisions", metavar="PATH", default=None,
+                       help="append one decision-provenance record per task to PATH "
+                            "(JSONL; drives the explain / run-diff commands)")
+    serve.add_argument("--slo", action="append", default=[], metavar="SPEC",
+                       help="declarative objective evaluated on every monitor sample, "
+                            "e.g. 'assign_rate=serve.accepted/serve.assignments>=0.95' "
+                            "or 'p99_batch=p99(serve.batch.latency_s)<=0.5'; repeatable "
+                            "(implies monitoring)")
     add_output_flags(serve)
 
     scenarios = sub.add_parser(
@@ -224,6 +232,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "bit-identical to serial)")
     s_run.add_argument("--cell-workers", type=int, default=2,
                        help="pool size for --cell-backend process")
+    s_run.add_argument("--decisions", action="store_true",
+                       help="write one decision log per cell next to its manifest "
+                            "(needs --out); run-diff / scenarios-report join them")
     add_stream_flags(s_run)
     add_serve_policy_flags(s_run)
     s_run.add_argument("--json", action="store_true",
@@ -264,6 +275,24 @@ def build_parser() -> argparse.ArgumentParser:
                               help="number of contiguous phases to aggregate into")
     serve_report.add_argument("--json", action="store_true",
                               help="emit the aggregates as JSON")
+
+    explain = sub.add_parser(
+        "explain",
+        help="render one task's decision path from a run's decision log",
+    )
+    explain.add_argument("run", help="decision log, run manifest, or run directory")
+    explain.add_argument("--task", type=int, required=True, help="task id to explain")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the raw decision record as JSON")
+
+    run_diff = sub.add_parser(
+        "run-diff",
+        help="attribute the completion delta between two runs to reason-code transitions",
+    )
+    run_diff.add_argument("run_a", help="baseline: decision log, manifest, or run directory")
+    run_diff.add_argument("run_b", help="comparison: decision log, manifest, or run directory")
+    run_diff.add_argument("--json", action="store_true",
+                          help="emit the transition table as JSON")
 
     return parser
 
@@ -331,6 +360,7 @@ def _observed(
         trace_path=trace,
         spool_dir=getattr(args, "_spool_dir", None),
         profile=getattr(args, "_profile", None),
+        artifacts=getattr(args, "_artifacts", None),
     ).write(manifest_path_for(trace))
     reporter.add("trace", str(trace))
     reporter.add("manifest", str(manifest_file))
@@ -434,7 +464,12 @@ def _monitor_config(args: argparse.Namespace):
     """Build the serve-sim MonitorConfig, or None when no flag asks for one."""
     from repro.obs import CalibrationConfig, MonitorConfig
 
-    if args.monitor is None and args.openmetrics is None and args.monitor_port is None:
+    if (
+        args.monitor is None
+        and args.openmetrics is None
+        and args.monitor_port is None
+        and not args.slo
+    ):
         return None
     calibration = (
         None if args.no_calibration else CalibrationConfig(detector=args.drift_detector)
@@ -445,6 +480,7 @@ def _monitor_config(args: argparse.Namespace):
         openmetrics_path=args.openmetrics,
         http_port=args.monitor_port,
         calibration=calibration,
+        slos=tuple(args.slo),
     )
 
 
@@ -463,6 +499,11 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         policy = policy_from_args(args)
         data = materialize(scenario)
         monitor = _monitor_config(args)
+        decisions = None
+        if args.decisions:
+            from repro.obs import DecisionConfig
+
+            decisions = DecisionConfig(path=args.decisions)
         dist_obs = None
         if policy.dist.shards > 1:
             from repro.obs.dist import DistObsConfig
@@ -485,7 +526,12 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                     profile_top_n=args.profile_top,
                 )
         engine = build_engine(
-            data.workers, data.provider, policy, monitor=monitor, dist_obs=dist_obs
+            data.workers,
+            data.provider,
+            policy,
+            monitor=monitor,
+            dist_obs=dist_obs,
+            decisions=decisions,
         )
         try:
             result = engine.run(data.tasks, data.t_start, data.t_end)
@@ -530,6 +576,16 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                 reporter.line(f"[series: {args.monitor}]")
             if args.openmetrics:
                 reporter.line(f"[openmetrics: {args.openmetrics}]")
+        if decisions is not None:
+            rows["n_decisions"] = float(result.n_decisions)
+            reporter.add("decisions", args.decisions)
+            reporter.line(f"[decisions: {args.decisions}]")
+        artifacts = {
+            "decisions": args.decisions,
+            "series": args.monitor,
+            "openmetrics": args.openmetrics,
+        }
+        args._artifacts = {k: v for k, v in artifacts.items() if v}
         reporter.table("metrics", rows, fmt="  {name:<20} {value:.4f}")
         return rows
 
@@ -562,11 +618,19 @@ def _resolve_cli_spec(args: argparse.Namespace):
 
 
 def cmd_scenarios_run(args: argparse.Namespace) -> int:
-    from repro.scenarios import parse_sweep_arg, render_table, report_payload, run_sweep
+    from repro.scenarios import (
+        decision_diff_tables,
+        parse_sweep_arg,
+        render_table,
+        report_payload,
+        run_sweep,
+    )
 
     reporter = Reporter(json_mode=args.json)
     spec = _resolve_cli_spec(args)
     extra_sweep = dict(parse_sweep_arg(s) for s in args.sweep)
+    if args.decisions and not args.out:
+        raise SystemExit("--decisions needs an output directory (--out)")
     rows = run_sweep(
         spec,
         out_dir=args.out,
@@ -574,11 +638,17 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
         cell_backend=args.cell_backend,
         cell_workers=args.cell_workers,
         argv=getattr(args, "_argv", []),
+        decisions=args.decisions,
     )
     source = args.spec or spec.name or "flags"
     for key, value in report_payload(rows, source=source).items():
         reporter.add(key, value)
     reporter.line(render_table(rows, title=f"scenario sweep: {source} ({len(rows)} cells)"))
+    if args.decisions:
+        tables = decision_diff_tables(rows, out_dir=args.out)
+        if tables:
+            reporter.line("")
+            reporter.line(tables)
     if args.out:
         reporter.add("out_dir", args.out)
         reporter.line(f"[manifests: {args.out}]")
@@ -653,6 +723,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
 
 def cmd_scenarios_report(args: argparse.Namespace) -> int:
     from repro.scenarios import (
+        decision_diff_tables,
         load_cell_manifests,
         render_table,
         report_payload,
@@ -660,12 +731,20 @@ def cmd_scenarios_report(args: argparse.Namespace) -> int:
     )
 
     reporter = Reporter(json_mode=args.json)
-    rows = rows_from_manifests(load_cell_manifests(args.out_dir))
+    try:
+        rows = rows_from_manifests(load_cell_manifests(args.out_dir))
+    except FileNotFoundError as exc:
+        raise SystemExit(f"scenarios-report: {exc}") from None
     for key, value in report_payload(rows, source=args.out_dir).items():
         reporter.add(key, value)
     reporter.line(
         render_table(rows, title=f"scenario sweep: {args.out_dir} ({len(rows)} cells)")
     )
+    tables = decision_diff_tables(rows, out_dir=args.out_dir)
+    if tables:
+        reporter.add("decision_diffs", tables)
+        reporter.line("")
+        reporter.line(tables)
     reporter.finish()
     return 0
 
@@ -774,6 +853,47 @@ def cmd_serve_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import explain_task, find_decision_log, read_decisions, render_explain
+
+    try:
+        log_path = find_decision_log(args.run)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"explain: {exc}") from None
+    records = read_decisions(log_path)
+    try:
+        record = explain_task(records, args.task)
+    except KeyError:
+        raise SystemExit(
+            f"explain: task {args.task} has no record in {log_path} "
+            f"({len(records)} tasks logged)"
+        ) from None
+    if args.json:
+        print(json.dumps({"log": str(log_path), "record": record}, indent=2))
+    else:
+        print(f"[decision log: {log_path}]")
+        print(render_explain(record))
+    return 0
+
+
+def cmd_run_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_decisions, find_decision_log, read_decisions, render_run_diff
+
+    try:
+        path_a = find_decision_log(args.run_a)
+        path_b = find_decision_log(args.run_b)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"run-diff: {exc}") from None
+    diff = diff_decisions(read_decisions(path_a), read_decisions(path_b))
+    if args.json:
+        print(json.dumps({"log_a": str(path_a), "log_b": str(path_b), **diff}, indent=2))
+    else:
+        print(f"[A: {path_a}]")
+        print(f"[B: {path_b}]")
+        print(render_run_diff(diff))
+    return 0
+
+
 COMMANDS = {
     "predict": cmd_predict,
     "assign": cmd_assign,
@@ -783,6 +903,8 @@ COMMANDS = {
     "trace-report": cmd_trace_report,
     "scenarios": cmd_scenarios,
     "scenarios-report": cmd_scenarios_report,
+    "explain": cmd_explain,
+    "run-diff": cmd_run_diff,
 }
 
 

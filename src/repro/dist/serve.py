@@ -33,6 +33,7 @@ from dataclasses import replace
 from typing import Sequence
 
 from repro import obs
+from repro.obs.decisions import DecisionConfig, DecisionLog
 from repro.obs.dist import (
     MERGE_SPAN,
     PREPARE_SPAN,
@@ -99,6 +100,43 @@ def component_candidate_assign(
 
     assign.warm_cache = warm  # type: ignore[attr-defined]
     return assign
+
+
+class _ShardedDecisionLog(DecisionLog):
+    """Decision log whose records carry the owning stripe.
+
+    Arrival-time terminals (dead on arrival, shed on arrival) fire
+    before the engine's ``_on_event`` routing hook sees the arrival, so
+    the log notes each task's cell column itself at the first decision
+    site; terminals then resolve the column to a stripe under the most
+    recent batch layout (``None`` — and spool 0 — before the first
+    batch lays stripes out).
+    """
+
+    def __init__(self, config: DecisionConfig, engine: "ShardedEngine") -> None:
+        self._engine = engine
+        super().__init__(config, shard_of=self._shard)
+
+    def _note(self, task: SpatialTask) -> None:
+        self._engine._task_col.setdefault(
+            task.task_id,
+            math.floor(task.location.x / self._engine.config.index_cell_km),
+        )
+
+    def admitted(self, task, t):
+        self._note(task)
+        super().admitted(task, t)
+
+    def dead_on_arrival(self, task, t, cancelled):
+        self._note(task)
+        super().dead_on_arrival(task, t, cancelled)
+
+    def shed_on_arrival(self, task, t):
+        self._note(task)
+        super().shed_on_arrival(task, t)
+
+    def _shard(self, task_id: int) -> int | None:
+        return self._engine._shard_for_column(self._engine._task_col.get(task_id))
 
 
 class ShardedEngine(ServeEngine):
@@ -363,7 +401,15 @@ class ShardedEngine(ServeEngine):
             col = self._task_col[event.task_id]
         else:
             return None
-        if not self._last_specs:
+        return self._shard_for_column(col)
+
+    def _shard_for_column(self, col: int | None) -> int | None:
+        """The stripe owning (or nearest to) a cell column, or ``None``.
+
+        Shared by event routing and decision-log shard attribution;
+        ``None`` before the first batch lays stripes out.
+        """
+        if col is None or not self._last_specs:
             return None
         best_id, best_gap = None, math.inf
         for spec in self._last_specs:
@@ -373,6 +419,9 @@ class ShardedEngine(ServeEngine):
             if gap < best_gap:
                 best_id, best_gap = spec.shard_id, gap
         return best_id
+
+    def _make_decision_log(self, config: DecisionConfig) -> DecisionLog:
+        return _ShardedDecisionLog(config, self)
 
     # ------------------------------------------------------------------
     @property

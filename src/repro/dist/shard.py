@@ -571,6 +571,19 @@ class WarmMatchCache:
     def rows_total(self) -> int:
         return sum(s.rows_total for s in self._states.values())
 
+    def tier_counts(self) -> dict[str, int]:
+        """Cumulative solve counts per warm-start tier across all states.
+
+        Sampled before/after a batch's solve by the decision log
+        (:mod:`repro.obs.decisions`) to name the tier that batch took.
+        """
+        counts = {"identical": 0, "warm": 0, "cold": 0}
+        for state in self._states.values():
+            counts["identical"] += state.identical_hits
+            counts["warm"] += state.warm_solves
+            counts["cold"] += state.cold_solves
+        return counts
+
     def __len__(self) -> int:
         return len(self._states)
 

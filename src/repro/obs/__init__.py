@@ -27,7 +27,26 @@ from repro.obs.calibration import (
     PageHinkley,
     PairOutcome,
 )
-from repro.obs.dashboard import aggregate_series, load_serve_report, render_serve_report
+from repro.obs.dashboard import (
+    aggregate_series,
+    load_serve_report,
+    reason_breakdown,
+    render_serve_report,
+)
+from repro.obs.decisions import (
+    DecisionConfig,
+    DecisionLog,
+    decision_records,
+    diff_decisions,
+    explain_task,
+    find_decision_log,
+    merge_decision_spools,
+    read_decisions,
+    reconcile,
+    render_explain,
+    render_run_diff,
+    write_decisions,
+)
 from repro.obs.dist import (
     DistObsConfig,
     RoundAttribution,
@@ -48,7 +67,14 @@ from repro.obs.metrics import (
     percentile,
     split_labels,
 )
-from repro.obs.monitor import MetricsMonitor, MonitorConfig, read_series
+from repro.obs.monitor import (
+    MetricsMonitor,
+    MonitorConfig,
+    SLOEvaluator,
+    SLOSpec,
+    parse_slo,
+    read_series,
+)
 from repro.obs.openmetrics import (
     ExpositionServer,
     metric_name,
@@ -83,7 +109,20 @@ __all__ = [
     "PairOutcome",
     "aggregate_series",
     "load_serve_report",
+    "reason_breakdown",
     "render_serve_report",
+    "DecisionConfig",
+    "DecisionLog",
+    "decision_records",
+    "diff_decisions",
+    "explain_task",
+    "find_decision_log",
+    "merge_decision_spools",
+    "read_decisions",
+    "reconcile",
+    "render_explain",
+    "render_run_diff",
+    "write_decisions",
     "DistObsConfig",
     "RoundAttribution",
     "attribute_rounds",
@@ -105,6 +144,9 @@ __all__ = [
     "split_labels",
     "MetricsMonitor",
     "MonitorConfig",
+    "SLOEvaluator",
+    "SLOSpec",
+    "parse_slo",
     "read_series",
     "ExpositionServer",
     "metric_name",

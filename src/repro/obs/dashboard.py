@@ -56,7 +56,12 @@ class Phase:
         return sum(values) / len(values) if values else None
 
     def histogram_merge(self, name: str) -> dict:
-        """Merge the phase's window summaries (count/sum/max merge exactly)."""
+        """Merge the phase's window summaries (count/sum/max merge exactly).
+
+        Tolerant of partial summaries (a truncated series can leave a
+        window with a count but no ``max``): missing fields contribute
+        nothing rather than crashing the report.
+        """
         count, total, peak = 0, 0.0, None
         for s in self.samples:
             w = s.get("histograms", {}).get(name)
@@ -64,7 +69,9 @@ class Phase:
                 continue
             count += w["count"]
             total += w.get("sum", 0.0)
-            peak = w["max"] if peak is None else max(peak, w["max"])
+            w_max = w.get("max")
+            if w_max is not None:
+                peak = w_max if peak is None else max(peak, w_max)
         return {"count": count, "sum": total, "mean": total / count if count else 0.0, "max": peak}
 
 
@@ -85,6 +92,23 @@ def per_shard_metrics(counters: dict, gauges: dict) -> dict[str, dict[str, float
         shard = labels.get("shard")
         if shard is not None:
             table.setdefault(shard, {})[base] = value
+    return table
+
+
+#: Counter families whose labels the dashboard pivots into a
+#: per-reason breakdown (see ``repro.serve.engine``'s labelled
+#: ``serve.shed.tasks{reason=...}`` / ``serve.task.expired{phase=...}``).
+_REASON_BASES = ("serve.shed.tasks", "serve.task.expired")
+
+
+def reason_breakdown(counters: dict) -> dict[str, dict[str, float]]:
+    """Pivot labelled shed/expiry counters into ``{base: {label: n}}``."""
+    table: dict[str, dict[str, float]] = {}
+    for name, value in counters.items():
+        base, labels = split_labels(name)
+        if base in _REASON_BASES and labels:
+            label = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            table.setdefault(base, {})[label] = value
     return table
 
 
@@ -114,6 +138,9 @@ def aggregate_series(records: list[dict], n_phases: int = 3) -> dict:
     drift = [r for r in records if r.get("type") == "drift"]
     calibration = next((r for r in records if r.get("type") == "calibration"), None)
     start = next((r for r in records if r.get("type") == "monitor_start"), None)
+    slo_specs = {r.get("slo"): r for r in records if r.get("type") == "slo_spec"}
+    slo_alerts = [r for r in records if r.get("type") == "slo_alert"]
+    last_slos = samples[-1].get("slos", {}) if samples else {}
     phases = split_phases(samples, n_phases)
     counters = sorted(samples[-1].get("counters", {})) if samples else []
     gauges = sorted(samples[-1].get("gauges", {})) if samples else []
@@ -140,6 +167,18 @@ def aggregate_series(records: list[dict], n_phases: int = 3) -> dict:
         "per_shard": per_shard_metrics(
             samples[-1].get("counters", {}), samples[-1].get("gauges", {})
         ) if samples else {},
+        "reasons": reason_breakdown(samples[-1].get("counters", {})) if samples else {},
+        "slos": {
+            name: {
+                "objective": (slo_specs.get(name) or {}).get("objective"),
+                "burn_short": (last_slos.get(name) or {}).get("burn_short"),
+                "burn_long": (last_slos.get(name) or {}).get("burn_long"),
+                "alerting": bool((last_slos.get(name) or {}).get("alerting")),
+                "n_alerts": sum(1 for a in slo_alerts if a.get("slo") == name),
+            }
+            for name in sorted(set(slo_specs) | set(last_slos))
+        },
+        "slo_alerts": slo_alerts,
         "drift_events": drift,
         "calibration": {k: v for k, v in calibration.items() if k not in ("type", "wall_unix")}
         if calibration else None,
@@ -197,6 +236,43 @@ def render_serve_report(records: list[dict], title: str = "serve report",
                 cells += f"{h['count']:>5d}|{h['mean']:<6.3g}" if h["count"] else f"{'-':>12}"
             lines.append(f"{name:<34}{cells}")
 
+    reasons = agg.get("reasons") or {}
+    if reasons:
+        lines += ["", "shed / expiry reasons (final totals)",
+                  "------------------------------------"]
+        for base in sorted(reasons):
+            total = agg["totals"].get(base)
+            suffix = f"    (unlabelled total: {total:g})" if total is not None else ""
+            lines.append(f"{base}{suffix}")
+            for label, value in sorted(reasons[base].items()):
+                lines.append(f"  {label:<32}{value:>12g}")
+
+    slos = agg.get("slos") or {}
+    if slos:
+        lines += ["", "service-level objectives", "------------------------"]
+        slo_header = f"{'slo':<20} {'objective':<42} {'burn short':>10} {'burn long':>10}  status"
+        lines.append(slo_header)
+        for name, st in sorted(slos.items()):
+            burn_short = (
+                f"{st['burn_short']:.2f}" if st.get("burn_short") is not None else "n/a"
+            )
+            burn_long = (
+                f"{st['burn_long']:.2f}" if st.get("burn_long") is not None else "n/a"
+            )
+            status = "ALERTING" if st.get("alerting") else "ok"
+            if st.get("n_alerts"):
+                status += f" ({st['n_alerts']} alert(s))"
+            objective = st.get("objective") or "n/a"
+            lines.append(
+                f"{name:<20} {objective:<42} {burn_short:>10} {burn_long:>10}  {status}"
+            )
+        for alert in agg.get("slo_alerts") or []:
+            t = alert.get("t")
+            lines.append(
+                f"alert: {alert.get('slo')} at t={t:g}" if t is not None
+                else f"alert: {alert.get('slo')}"
+            )
+
     shards = agg.get("per_shard") or {}
     if shards:
         bases = sorted({b for row in shards.values() for b in row})
@@ -219,16 +295,18 @@ def render_serve_report(records: list[dict], title: str = "serve report",
     if cal:
         lines += ["", "calibration", "-----------"]
         lines.append(
-            f"samples: {cal['n_samples']}    brier: {cal['brier']:.4f}    "
-            f"ece: {cal['ece']:.4f}    drift events: {cal['n_drift_events']}"
+            f"samples: {cal.get('n_samples', 0)}    brier: {cal.get('brier', 0.0):.4f}    "
+            f"ece: {cal.get('ece', 0.0):.4f}    drift events: {cal.get('n_drift_events', 0)}"
         )
-        bins = [b for b in cal.get("bins", []) if b["n"]]
+        bins = [b for b in cal.get("bins", []) if b.get("n")]
         if bins:
             lines.append(f"{'bin':<14} {'n':>6} {'predicted':>10} {'observed':>10}")
             for b in bins:
+                predicted = b.get("mean_predicted")
                 lines.append(
                     f"{b['lo']:.2f}–{b['hi']:.2f}    {b['n']:>6d} "
-                    f"{b['mean_predicted']:>10.3f} {b['frac_accepted']:>10.3f}"
+                    + (f"{predicted:>10.3f}" if predicted is not None else f"{'n/a':>10}")
+                    + f" {b['frac_accepted']:>10.3f}"
                 )
         for event in cal.get("drift_events", []):
             lines.append(

@@ -62,6 +62,11 @@ class RunManifest:
     #: (sweep name, cell index, cell label — see
     #: :mod:`repro.scenarios.sweep`); report tooling groups on these.
     labels: dict = field(default_factory=dict)
+    #: Sidecar artifact paths keyed by kind (``trace``, ``series``,
+    #: ``openmetrics``, ``spools``, ``decisions``) so ``explain`` /
+    #: ``run-diff`` / ``trace-report`` locate their inputs from the
+    #: manifest alone instead of globbing the run directory.
+    artifacts: dict = field(default_factory=dict)
 
     @classmethod
     def start(
@@ -92,6 +97,7 @@ class RunManifest:
         trace_path: str | Path | None = None,
         spool_dir: str | Path | None = None,
         profile: list | None = None,
+        artifacts: dict | None = None,
     ) -> "RunManifest":
         """Record the run's outcome; returns self for chaining."""
         self.finished_unix = time.time()
@@ -100,10 +106,16 @@ class RunManifest:
             self.metrics = dict(metrics)
         if trace_path is not None:
             self.trace_path = str(trace_path)
+            self.artifacts.setdefault("trace", str(trace_path))
         if spool_dir is not None:
             self.spool_dir = str(spool_dir)
+            self.artifacts.setdefault("spools", str(spool_dir))
         if profile is not None:
             self.profile = list(profile)
+        if artifacts is not None:
+            self.artifacts.update(
+                {kind: str(p) for kind, p in artifacts.items() if p is not None}
+            )
         return self
 
     def to_dict(self) -> dict:

@@ -31,15 +31,225 @@ no-op default path is untouched.
 from __future__ import annotations
 
 import json
+import re
 import time
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import IO
+from typing import IO, Sequence
 
 from repro.obs.calibration import CalibrationConfig, CalibrationMonitor
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, labelled
 from repro.obs.openmetrics import ExpositionServer, render_openmetrics, write_openmetrics
 from repro.obs.sinks import read_jsonl
+
+
+# ----------------------------------------------------------------------
+# Service-level objectives over the sampled series.
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative service-level objective over monitor samples.
+
+    Two kinds, mirroring the two signals the sampler produces:
+
+    * ``ratio`` — a good-events / total-events objective over counter
+      *deltas* per window, e.g. ``assign_rate = serve.accepted /
+      serve.assignments >= 0.95``.  A window's **bad fraction** is
+      ``1 - good/total`` (clamped to [0, 1]) weighted by ``total``;
+      windows with no traffic carry no weight.
+    * ``quantile`` — a windowed histogram-summary threshold, e.g.
+      ``p99(serve.batch.latency_s) <= 0.5``.  A window is wholly good
+      or wholly bad (the summary either meets the threshold or not),
+      weighted by the window's observation count.
+
+    Alerting uses the multi-window burn-rate idiom: the **burn rate**
+    is the weighted-average bad fraction divided by the error budget
+    (``1 - target`` for ratios; ``budget`` for quantile objectives,
+    default 5% of windows), so burn 1.0 exactly spends the budget.  An
+    alert fires on the rising edge of *both* the short window (fast
+    signal) and the long window (debounce) exceeding
+    ``burn_threshold``; it re-arms once either window recovers.
+    """
+
+    name: str
+    kind: str
+    target: float
+    numerator: str | None = None
+    denominator: str | None = None
+    metric: str | None = None
+    quantile: str = "p99"
+    budget: float | None = None
+    short_window: int = 3
+    long_window: int = 12
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ratio", "quantile"):
+            raise ValueError("SLO kind must be 'ratio' or 'quantile'")
+        if self.kind == "ratio":
+            if not self.numerator or not self.denominator:
+                raise ValueError("ratio SLO needs numerator and denominator metrics")
+            if not 0.0 < self.target <= 1.0:
+                raise ValueError("ratio SLO target must be in (0, 1]")
+        else:
+            if not self.metric:
+                raise ValueError("quantile SLO needs a histogram metric")
+            if self.quantile not in ("p50", "p90", "p99", "mean", "max"):
+                raise ValueError("SLO quantile must be one of p50/p90/p99/mean/max")
+        if self.budget is not None and not 0.0 < self.budget <= 1.0:
+            raise ValueError("SLO budget must be in (0, 1]")
+        if self.short_window < 1 or self.long_window < self.short_window:
+            raise ValueError("SLO windows must satisfy 1 <= short <= long")
+        if self.burn_threshold <= 0:
+            raise ValueError("SLO burn threshold must be positive")
+
+    def resolved_budget(self) -> float:
+        if self.budget is not None:
+            return self.budget
+        if self.kind == "ratio":
+            return max(1.0 - self.target, 1e-9)
+        return 0.05
+
+    def describe(self) -> str:
+        if self.kind == "ratio":
+            return f"{self.numerator}/{self.denominator} >= {self.target:g}"
+        return f"{self.quantile}({self.metric}) <= {self.target:g}"
+
+
+_SLO_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z0-9_.-]+)\s*=\s*(?P<body>.+?)\s*(?P<op>>=|<=)\s*"
+    r"(?P<value>[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)\s*$"
+)
+_SLO_QUANTILE_RE = re.compile(
+    r"^(?P<q>p50|p90|p99|mean|max)\s*\(\s*(?P<metric>[^()\s]+)\s*\)$"
+)
+
+
+def parse_slo(text: str) -> SLOSpec:
+    """Parse the CLI objective grammar into an :class:`SLOSpec`.
+
+    Two forms::
+
+        assign_rate = serve.accepted / serve.assignments >= 0.95
+        batch_p99 = p99(serve.batch.latency_s) <= 0.5
+
+    whitespace optional throughout.
+    """
+    match = _SLO_RE.match(text)
+    if match is None:
+        raise ValueError(
+            f"cannot parse SLO {text!r}; expected 'name=num/den>=target' "
+            "or 'name=p99(metric)<=threshold'"
+        )
+    name, body, op, value = (
+        match["name"], match["body"].strip(), match["op"], float(match["value"])
+    )
+    quantile = _SLO_QUANTILE_RE.match(body)
+    if quantile is not None:
+        if op != "<=":
+            raise ValueError(f"quantile SLO {name!r} must use '<='")
+        return SLOSpec(
+            name=name, kind="quantile", target=value,
+            metric=quantile["metric"], quantile=quantile["q"],
+        )
+    if "/" in body:
+        if op != ">=":
+            raise ValueError(f"ratio SLO {name!r} must use '>='")
+        numerator, _, denominator = body.partition("/")
+        return SLOSpec(
+            name=name, kind="ratio", target=value,
+            numerator=numerator.strip(), denominator=denominator.strip(),
+        )
+    raise ValueError(
+        f"cannot parse SLO body {body!r}; expected 'num/den' or 'p99(metric)'"
+    )
+
+
+class SLOEvaluator:
+    """Evaluates a set of :class:`SLOSpec` sample by sample.
+
+    Pure over the sample stream — :meth:`observe` consumes monitor
+    sample records (live from :class:`MetricsMonitor`, or replayed from
+    a series file by ``serve-report``) and returns each objective's
+    burn-rate status plus any newly fired alert events, so a replay
+    reconstructs exactly the alerts the live run emitted.
+    """
+
+    def __init__(self, specs: Sequence[SLOSpec]) -> None:
+        self.specs = tuple(specs)
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("SLO names must be unique")
+        self._history: dict[str, deque] = {
+            s.name: deque(maxlen=s.long_window) for s in self.specs
+        }
+        self._alerting: dict[str, bool] = {s.name: False for s in self.specs}
+        self.alerts: list[dict] = []
+
+    def observe(self, sample: dict) -> tuple[dict, list[dict]]:
+        """One sample in; per-SLO status and newly fired alerts out."""
+        status: dict[str, dict] = {}
+        fired: list[dict] = []
+        for spec in self.specs:
+            self._history[spec.name].append(self._bad_fraction(spec, sample))
+            burn_short = self._burn(spec, spec.short_window)
+            burn_long = self._burn(spec, spec.long_window)
+            alerting = (
+                burn_short is not None
+                and burn_long is not None
+                and burn_short >= spec.burn_threshold
+                and burn_long >= spec.burn_threshold
+            )
+            rising = alerting and not self._alerting[spec.name]
+            self._alerting[spec.name] = alerting
+            status[spec.name] = {
+                "burn_short": burn_short,
+                "burn_long": burn_long,
+                "alerting": alerting,
+            }
+            if rising:
+                event = {
+                    "type": "slo_alert",
+                    "slo": spec.name,
+                    "objective": spec.describe(),
+                    "t": sample.get("t"),
+                    "seq": sample.get("seq"),
+                    "burn_short": burn_short,
+                    "burn_long": burn_long,
+                    "burn_threshold": spec.burn_threshold,
+                }
+                self.alerts.append(event)
+                fired.append(event)
+        return status, fired
+
+    @staticmethod
+    def _bad_fraction(spec: SLOSpec, sample: dict) -> tuple[float, float] | None:
+        """This window's ``(bad_fraction, weight)``; ``None`` if idle."""
+        if spec.kind == "ratio":
+            deltas = sample.get("counter_deltas") or {}
+            total = float(deltas.get(spec.denominator, 0.0))
+            if total <= 0:
+                return None
+            good = float(deltas.get(spec.numerator, 0.0))
+            return (min(max(1.0 - good / total, 0.0), 1.0), total)
+        window = (sample.get("histograms") or {}).get(spec.metric)
+        if not window or not window.get("count"):
+            return None
+        observed = window.get(spec.quantile)
+        if observed is None:
+            return None
+        return (1.0 if observed > spec.target else 0.0, float(window["count"]))
+
+    def _burn(self, spec: SLOSpec, n: int) -> float | None:
+        entries = [e for e in list(self._history[spec.name])[-n:] if e is not None]
+        if not entries:
+            return None
+        weight = sum(w for _b, w in entries)
+        if weight <= 0:
+            return None
+        bad = sum(b * w for b, w in entries) / weight
+        return bad / spec.resolved_budget()
 
 
 @dataclass(frozen=True)
@@ -70,6 +280,11 @@ class MonitorConfig:
     calibration:
         Calibration-monitor knobs; ``None`` disables calibration
         tracking entirely.
+    slos:
+        Declarative objectives (:class:`SLOSpec`, or their string
+        grammar — see :func:`parse_slo`) evaluated at every sample;
+        burn-rate status lands in the sample records and alert events
+        stream into the series.  Empty disables SLO tracking.
     """
 
     cadence: float = 2.0
@@ -79,12 +294,18 @@ class MonitorConfig:
     http_port: int | None = None
     prefix: str = "repro"
     calibration: CalibrationConfig | None = field(default_factory=CalibrationConfig)
+    slos: tuple = ()
 
     def __post_init__(self) -> None:
         if self.cadence <= 0:
             raise ValueError("monitor cadence must be positive")
         if self.clock not in ("event", "wall"):
             raise ValueError("monitor clock must be 'event' or 'wall'")
+        object.__setattr__(
+            self,
+            "slos",
+            tuple(parse_slo(s) if isinstance(s, str) else s for s in self.slos),
+        )
 
 
 class MetricsMonitor:
@@ -103,6 +324,7 @@ class MetricsMonitor:
         self.calibration = (
             CalibrationMonitor(config.calibration) if config.calibration is not None else None
         )
+        self.slo: SLOEvaluator | None = SLOEvaluator(config.slos) if config.slos else None
         self.server: ExpositionServer | None = None
         self._fh: IO[str] | None = None
         self._seq = 0
@@ -126,6 +348,9 @@ class MetricsMonitor:
         self._next_sample = t0 + self.config.cadence
         self._write({"type": "monitor_start", "t": t0, "wall_unix": time.time(),
                      "cadence": self.config.cadence, "clock": self.config.clock})
+        for spec in self.config.slos:
+            self._write({"type": "slo_spec", "slo": spec.name,
+                         "objective": spec.describe(), **asdict(spec)})
 
     def advance(self, t: float | None = None) -> None:
         """Clock tick: emit samples for every cadence boundary crossed.
@@ -214,11 +439,29 @@ class MetricsMonitor:
                 "ece": self.calibration.expected_calibration_error,
                 "n_drift_events": len(self.calibration.drift_events),
             }
+        alerts: list[dict] = []
+        if self.slo is not None:
+            status, alerts = self.slo.observe(record)
+            record["slos"] = status
+            # Mirror burn rates / alert firings into the registry so
+            # OpenMetrics scrapers see them; gauges set here land in
+            # the *next* sample's snapshot (this one is already taken).
+            for name, st in status.items():
+                if st["burn_long"] is not None:
+                    self.registry.gauge(
+                        labelled("serve.slo.burn_rate", slo=name)
+                    ).set(st["burn_long"])
+            for event in alerts:
+                self.registry.counter(
+                    labelled("serve.slo.alerts", slo=event["slo"])
+                ).add(1.0)
         self._seq += 1
         self._last_t = at
         self._last_counters = dict(counters)
         self.samples.append(record)
         self._write(record)
+        for event in alerts:
+            self._write(dict(event, wall_unix=time.time()))
         if self.config.openmetrics_path is not None:
             write_openmetrics(self.config.openmetrics_path, snapshot, prefix=self.config.prefix)
         if self.server is not None:

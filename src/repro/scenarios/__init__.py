@@ -30,6 +30,7 @@ from repro.scenarios.registry import (
     stream_config_for,
 )
 from repro.scenarios.report import (
+    decision_diff_tables,
     load_cell_manifests,
     render_table,
     report_payload,
@@ -50,6 +51,7 @@ from repro.scenarios.specs import (
 )
 from repro.scenarios.sweep import (
     Cell,
+    decisions_path,
     expand_cells,
     manifest_path,
     run_cell,
@@ -77,6 +79,8 @@ __all__ = [
     "build_dist_config",
     "build_engine",
     "build_serve_config",
+    "decision_diff_tables",
+    "decisions_path",
     "dump_spec",
     "expand_cells",
     "get_generator",

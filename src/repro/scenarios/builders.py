@@ -45,7 +45,7 @@ def assign_fns(algorithm: str) -> tuple[Callable, Callable]:
         raise ValueError(f"unknown assignment algorithm '{algorithm}'") from None
 
 
-def build_serve_config(policy: PolicySpec, monitor=None) -> ServeConfig:
+def build_serve_config(policy: PolicySpec, monitor=None, decisions=None) -> ServeConfig:
     """The :class:`ServeConfig` a policy spec compiles to."""
     return ServeConfig(
         batch_window=policy.trigger.window,
@@ -61,6 +61,7 @@ def build_serve_config(policy: PolicySpec, monitor=None) -> ServeConfig:
         index_cell_km=policy.index.cell_km,
         max_candidates=policy.index.max_candidates,
         monitor=monitor,
+        decisions=decisions,
     )
 
 
@@ -79,7 +80,9 @@ def build_dist_config(policy: PolicySpec, dist_obs=None):
     )
 
 
-def build_engine(workers, provider, policy: PolicySpec, monitor=None, dist_obs=None):
+def build_engine(
+    workers, provider, policy: PolicySpec, monitor=None, dist_obs=None, decisions=None
+):
     """Assemble the engine a policy asks for.
 
     Returns a :class:`ServeEngine` for single-shard policies and a
@@ -89,7 +92,7 @@ def build_engine(workers, provider, policy: PolicySpec, monitor=None, dist_obs=N
     path so ``warm_start`` means the same thing at every shard count.
     """
     assign_fn, candidate_fn = assign_fns(policy.algorithm)
-    config = build_serve_config(policy, monitor=monitor)
+    config = build_serve_config(policy, monitor=monitor, decisions=decisions)
     dist = build_dist_config(policy, dist_obs=dist_obs)
     if dist is not None:
         from repro.dist import ShardedEngine, component_candidate_assign
@@ -117,7 +120,9 @@ def build_engine(workers, provider, policy: PolicySpec, monitor=None, dist_obs=N
     )
 
 
-def run_scenario(scenario: ScenarioSpec, policy: PolicySpec, monitor=None, dist_obs=None):
+def run_scenario(
+    scenario: ScenarioSpec, policy: PolicySpec, monitor=None, dist_obs=None, decisions=None
+):
     """Materialise a scenario, run it under a policy, return the result.
 
     The single entry point behind ``scenarios run`` cells and the
@@ -126,7 +131,12 @@ def run_scenario(scenario: ScenarioSpec, policy: PolicySpec, monitor=None, dist_
     """
     data: ScenarioData = materialize(scenario)
     engine = build_engine(
-        data.workers, data.provider, policy, monitor=monitor, dist_obs=dist_obs
+        data.workers,
+        data.provider,
+        policy,
+        monitor=monitor,
+        dist_obs=dist_obs,
+        decisions=decisions,
     )
     try:
         return engine.run(data.tasks, data.t_start, data.t_end)

@@ -9,10 +9,12 @@ table and emit the same ``--json`` payload.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Sequence
 
 from repro.obs import RunManifest, read_manifest
+from repro.obs.decisions import diff_decisions, read_decisions, render_run_diff
 
 #: metric column → (header, format) in display order.
 _COLUMNS = (
@@ -25,14 +27,26 @@ _COLUMNS = (
 
 
 def load_cell_manifests(out_dir: str | Path) -> list[RunManifest]:
-    """Every ``cell*.manifest.json`` under a sweep directory, in cell order."""
+    """Every ``cell*.manifest.json`` under a sweep directory, in cell order.
+
+    A corrupt manifest (sweep killed mid-write) is skipped with a
+    warning rather than sinking the whole report; an empty directory is
+    still an error, since there is nothing to render.
+    """
     out_dir = Path(out_dir)
     if not out_dir.is_dir():
         raise FileNotFoundError(f"no sweep directory at {out_dir}")
     paths = sorted(out_dir.glob("cell*.manifest.json"))
     if not paths:
         raise FileNotFoundError(f"no cell manifests under {out_dir}")
-    manifests = [read_manifest(p) for p in paths]
+    manifests = []
+    for p in paths:
+        try:
+            manifests.append(read_manifest(p))
+        except ValueError as exc:
+            warnings.warn(f"skipping unreadable cell manifest: {exc}", stacklevel=2)
+    if not manifests:
+        raise FileNotFoundError(f"no readable cell manifests under {out_dir}")
     return sorted(manifests, key=lambda m: int(m.labels.get("cell", 0)))
 
 
@@ -49,6 +63,7 @@ def rows_from_manifests(manifests: Sequence[RunManifest]) -> list[dict]:
                 "signature_digest": digest,
                 "wall_s": m.duration_s,
                 "metrics": metrics,
+                "decisions": (m.artifacts or {}).get("decisions"),
             }
         )
     return rows
@@ -75,6 +90,51 @@ def render_table(rows: Sequence[dict], title: str = "scenario sweep") -> str:
     return "\n".join(lines)
 
 
+def _resolve_log(recorded: str, out_dir: str | Path | None) -> Path | None:
+    """A cell's decision-log path, tolerating a moved sweep directory."""
+    candidate = Path(recorded)
+    if candidate.exists():
+        return candidate
+    if out_dir is not None:
+        sibling = Path(out_dir) / candidate.name
+        if sibling.exists():
+            return sibling
+    warnings.warn(f"decision log {recorded} not found; skipping", stacklevel=3)
+    return None
+
+
+def decision_diff_tables(
+    rows: Sequence[dict], out_dir: str | Path | None = None
+) -> str | None:
+    """Reason-transition tables between sweep cells carrying decision logs.
+
+    The first cell with a log is the baseline; every later logged cell
+    is diffed against it (registry cells share deterministic task ids,
+    so the join is exact and each table attributes 100% of the
+    completion delta — see :func:`repro.obs.decisions.diff_decisions`).
+    ``None`` when fewer than two cells carry logs.
+    """
+    logged = []
+    for row in rows:
+        recorded = row.get("decisions")
+        if not recorded:
+            continue
+        path = _resolve_log(recorded, out_dir)
+        if path is not None:
+            logged.append((row, path))
+    if len(logged) < 2:
+        return None
+    (base_row, base_path), rest = logged[0], logged[1:]
+    base_records = read_decisions(base_path)
+    base_label = str(base_row["label"]) or f"cell {base_row['cell']}"
+    sections = []
+    for row, path in rest:
+        diff = diff_decisions(base_records, read_decisions(path))
+        label = str(row["label"]) or f"cell {row['cell']}"
+        sections.append(render_run_diff(diff, label_a=base_label, label_b=label))
+    return "\n\n".join(sections)
+
+
 def report_payload(rows: Sequence[dict], source: str | None = None) -> dict:
     """The machine-readable form of the comparison (``--json``)."""
     return {
@@ -88,6 +148,7 @@ def report_payload(rows: Sequence[dict], source: str | None = None) -> dict:
                 "wall_s": row["wall_s"],
                 "metrics": row["metrics"],
                 "manifest": row.get("manifest"),
+                "decisions": row.get("decisions"),
             }
             for row in rows
         ],

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.obs import RunManifest
+from repro.obs.decisions import DecisionConfig
 from repro.scenarios.builders import run_scenario
 from repro.scenarios.specs import RunSpec
 from repro.serve.adapters import result_signature
@@ -120,6 +121,11 @@ def manifest_path(out_dir: str | Path, cell_index: int, label: str) -> Path:
     return Path(out_dir) / f"cell{cell_index:03d}-{_slug(label)}.manifest.json"
 
 
+def decisions_path(out_dir: str | Path, cell_index: int, label: str) -> Path:
+    """Where a cell's decision log lands (sibling of its manifest)."""
+    return Path(out_dir) / f"cell{cell_index:03d}-{_slug(label)}.decisions.jsonl"
+
+
 def run_cell(payload: dict) -> dict:
     """Run one grid cell; pure payload → summary (backend-safe).
 
@@ -128,8 +134,14 @@ def run_cell(payload: dict) -> dict:
     identical results.
     """
     spec = RunSpec.from_dict(payload["doc"])
+    out_dir = payload.get("out_dir")
+    decisions = None
+    if payload.get("decisions") and out_dir:
+        decisions = DecisionConfig(
+            path=str(decisions_path(out_dir, payload["index"], payload["label"]))
+        )
     t0 = time.perf_counter()
-    result = run_scenario(spec.scenario, spec.policy)
+    result = run_scenario(spec.scenario, spec.policy, decisions=decisions)
     wall_s = time.perf_counter() - t0
     digest = signature_digest(result)
     metrics = result.metrics().as_row()
@@ -149,8 +161,8 @@ def run_cell(payload: dict) -> dict:
         "wall_s": wall_s,
         "metrics": metrics,
         "manifest": None,
+        "decisions": decisions.path if decisions is not None else None,
     }
-    out_dir = payload.get("out_dir")
     if out_dir:
         manifest = RunManifest.start(
             command="scenarios-run",
@@ -168,7 +180,10 @@ def run_cell(payload: dict) -> dict:
             },
         )
         path = manifest_path(out_dir, payload["index"], payload["label"])
-        manifest.finalize(metrics={**metrics, "signature_digest": digest}).write(path)
+        manifest.finalize(
+            metrics={**metrics, "signature_digest": digest},
+            artifacts={"decisions": decisions.path} if decisions is not None else None,
+        ).write(path)
         summary["manifest"] = str(path)
     return summary
 
@@ -180,15 +195,20 @@ def run_sweep(
     cell_backend: str = "serial",
     cell_workers: int = 1,
     argv: Sequence[str] | None = None,
+    decisions: bool = False,
 ) -> list[dict]:
     """Execute every cell of a spec's grid; summaries in grid order.
 
     ``cell_backend='process'`` fans cells over a
     :class:`repro.dist.ProcessBackend` pool; results are identical to
     serial because cells are pure (:meth:`Backend.map_ordered`'s
-    contract).
+    contract).  ``decisions`` gives every cell a decision log next to
+    its manifest (requires ``out_dir``), linked through the manifest's
+    ``artifacts`` field so ``run-diff`` can join any two cells.
     """
     cells = expand_cells(spec, extra_sweep)
+    if decisions and out_dir is None:
+        raise ValueError("decision logs need an output directory (--out)")
     if out_dir is not None:
         Path(out_dir).mkdir(parents=True, exist_ok=True)
     payloads = [
@@ -200,6 +220,7 @@ def run_sweep(
             "out_dir": str(out_dir) if out_dir is not None else None,
             "sweep_name": spec.name,
             "argv": list(argv) if argv is not None else [],
+            "decisions": bool(decisions),
         }
         for cell in cells
     ]

@@ -35,6 +35,7 @@ from repro.serve.prediction_cache import CacheStats, PredictionCache
 from repro.serve.spatial_index import (
     UniformGridIndex,
     build_candidates,
+    candidate_stats,
     cells_in_radius,
     latest_horizon,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "WorkerCheckOut",
     "batch_platform_config",
     "build_candidates",
+    "candidate_stats",
     "cells_in_radius",
     "latest_horizon",
     "make_churn_worker_fleet",

@@ -37,6 +37,8 @@ from typing import Callable, Sequence
 from repro import obs
 from repro.assignment.matching_rate import pair_completion_probability
 from repro.assignment.plan import AssignmentPlan
+from repro.obs.decisions import DecisionConfig, DecisionLog
+from repro.obs.metrics import labelled
 from repro.obs.monitor import MetricsMonitor, MonitorConfig
 from repro.obs.recorder import MetricsRecorder
 from repro.sc.acceptance import evaluate_acceptance
@@ -107,6 +109,13 @@ class ServeConfig:
         calibration tracking.  ``None`` (the default) keeps the run
         monitor-free; when set but no recorder is active, the engine
         installs a metrics-only recorder for the duration of the run.
+    decisions:
+        Decision-provenance knobs (:class:`repro.obs.decisions.DecisionConfig`):
+        one lifecycle record per task — admission, candidate
+        generation, matching outcome, terminal state — appended to a
+        JSONL decision log.  ``None`` (the default) keeps the run
+        log-free with exact ``result_signature`` parity; the per-event
+        cost of the off path is one ``is None`` test.
     """
 
     batch_window: float = 2.0
@@ -122,6 +131,7 @@ class ServeConfig:
     index_cell_km: float = 1.0
     max_candidates: int | None = None
     monitor: MonitorConfig | None = None
+    decisions: DecisionConfig | None = None
 
     def __post_init__(self) -> None:
         if self.batch_window <= 0:
@@ -168,6 +178,9 @@ class ServeResult(SimulationResult):
     n_monitor_samples: int = 0
     n_drift_events: int = 0
     calibration: dict | None = None
+    #: Decision-log accounting (zero when ``config.decisions`` is
+    #: unset); outside ``result_signature`` for the same reason.
+    n_decisions: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -178,6 +191,30 @@ class ServeResult(SimulationResult):
     def candidate_sparsity(self) -> float:
         """Fraction of the dense pair space the index actually visited."""
         return self.n_candidate_pairs / self.n_dense_pairs if self.n_dense_pairs else 0.0
+
+
+def _warm_tier_counts(assign_fn) -> dict | None:
+    """The warm-start solve counters behind an assign closure, if any."""
+    cache = getattr(assign_fn, "warm_cache", None)
+    return cache.tier_counts() if cache is not None else None
+
+
+def _warm_tier(pre: dict | None, post: dict | None) -> str | None:
+    """The batch's warm-start tier from before/after solve counters.
+
+    The worst tier any of the batch's component solves hit: a cold
+    solve anywhere makes the batch ``cold``, else a seeded re-augment
+    makes it ``warm``, else whole-solve reuse makes it ``identical``.
+    """
+    if pre is None or post is None:
+        return None
+    if post["cold"] > pre["cold"]:
+        return "cold"
+    if post["warm"] > pre["warm"]:
+        return "warm"
+    if post["identical"] > pre["identical"]:
+        return "identical"
+    return None
 
 
 class ServeEngine:
@@ -223,6 +260,9 @@ class ServeEngine:
         self.assign_fn = assign_fn
         self.candidate_assign_fn = candidate_assign_fn
         self._worker_pos = {w.worker_id: i for i, w in enumerate(self.workers)}
+        #: The last run's :class:`DecisionLog` (``None`` when
+        #: ``config.decisions`` is unset).
+        self.decision_log: DecisionLog | None = None
 
     # ------------------------------------------------------------------
     def _build_candidates(
@@ -255,6 +295,15 @@ class ServeEngine:
         counters in :class:`repro.dist.serve.ShardedEngine`); it must
         not mutate engine state the event loop depends on.
         """
+
+    def _make_decision_log(self, config: DecisionConfig) -> DecisionLog:
+        """The decision log a run records into (``config.decisions``).
+
+        Subclasses substitute their own — :class:`repro.dist.serve.ShardedEngine`
+        attributes each record to the stripe that owned the task and
+        writes per-shard spools merged at close.
+        """
+        return DecisionLog(config)
 
     # ------------------------------------------------------------------
     def run(
@@ -299,7 +348,15 @@ class ServeEngine:
             monitor.start(t_start)
         watch = obs.enabled()
         calibrate = monitor is not None and monitor.calibration is not None
+        # Decision provenance is equally opt-in: with cfg.decisions
+        # unset `dlog` stays None and every decision site below costs
+        # one `is None` test, keeping result_signature bit-identical.
+        dlog: DecisionLog | None = None
+        if cfg.decisions is not None:
+            dlog = self._make_decision_log(cfg.decisions)
+        self.decision_log = dlog
         arrival_at: dict[int, float] = {}
+        offered_ids: set[int] = set()
         pending: dict[int, SpatialTask] = {}
         busy_until: dict[int, float] = {}
         online: dict[int, Worker] = {}
@@ -367,6 +424,7 @@ class ServeEngine:
                 available=len(available),
                 early=early,
             ) as batch_span:
+                pre_cache = cache.stats.snapshot() if dlog is not None else None
                 with obs.span("serve.predict", workers=len(available)):
                     started = time.perf_counter()
                     snapshots = [cache.get(w, t) for w in available]
@@ -375,6 +433,8 @@ class ServeEngine:
                 if served:
                     obs.gauge("serve.cache.hit_rate", cache.stats.hits / served)
                 result.n_dense_pairs += len(batch_tasks) * len(available)
+                candidates = None
+                warm_pre = None
                 with obs.span("serve.assign", tasks=len(batch_tasks)):
                     started = time.perf_counter()
                     if cfg.use_index and self.candidate_assign_fn is not None:
@@ -382,6 +442,8 @@ class ServeEngine:
                         batch_candidates = sum(len(v) for v in candidates.values())
                         result.n_candidate_pairs += batch_candidates
                         obs.histogram("serve.index.candidates", batch_candidates)
+                        if dlog is not None:
+                            warm_pre = _warm_tier_counts(self.candidate_assign_fn)
                         plan = self.candidate_assign_fn(batch_tasks, snapshots, t, candidates)
                     else:
                         result.n_candidate_pairs += len(batch_tasks) * len(available)
@@ -389,8 +451,22 @@ class ServeEngine:
                     result.algorithm_seconds += time.perf_counter() - started
                 validate_plan(plan, pending, worker_by_id)
 
+                warm_tier = None
+                if dlog is not None:
+                    dlog.considered(
+                        [task.task_id for task in batch_tasks],
+                        len(available),
+                        candidates,
+                        cache.stats.window_hit_rate(pre_cache),
+                    )
+                    if warm_pre is not None:
+                        warm_tier = _warm_tier(
+                            warm_pre, _warm_tier_counts(self.candidate_assign_fn)
+                        )
                 snap_by_worker = (
-                    {s.worker_id: s for s in snapshots} if calibrate else None
+                    {s.worker_id: s for s in snapshots}
+                    if calibrate or dlog is not None
+                    else None
                 )
                 n_accepted = 0
                 n_rejected = 0
@@ -401,14 +477,26 @@ class ServeEngine:
                     result.n_assignments += 1
                     if outcome_listener is not None:
                         outcome_listener(task.task_id, worker.worker_id, decision.accepted, t)
-                    if calibrate:
+                    if calibrate or dlog is not None:
                         believed = pair_completion_probability(
                             snap_by_worker[pair.worker_id],
                             task,
                             t,
-                            a=cfg.monitor.calibration.a_km,
+                            a=cfg.monitor.calibration.a_km
+                            if calibrate
+                            else cfg.decisions.a_km,
                         )
-                        monitor.observe_outcome(believed, decision.accepted, t)
+                        if calibrate:
+                            monitor.observe_outcome(believed, decision.accepted, t)
+                        if dlog is not None:
+                            dlog.offered(
+                                task.task_id,
+                                worker.worker_id,
+                                t,
+                                decision.accepted,
+                                predicted_p=believed,
+                                warm_tier=warm_tier,
+                            )
                     if decision.accepted:
                         n_accepted += 1
                         result.n_completed += 1
@@ -427,6 +515,8 @@ class ServeEngine:
                     else:
                         n_rejected += 1
                         result.n_rejections += 1
+                        if watch or dlog is not None:
+                            offered_ids.add(task.task_id)
                 obs.counter("serve.assignments", len(plan))
                 obs.counter("serve.accepted", n_accepted)
                 obs.counter("serve.rejections", n_rejected)
@@ -467,6 +557,12 @@ class ServeEngine:
                     ):
                         result.n_expired += 1
                         obs.counter("serve.expired")
+                        if watch:
+                            obs.counter(labelled("serve.task.expired", phase="pending"))
+                        if dlog is not None:
+                            dlog.dead_on_arrival(
+                                task, event.time, cancelled=task.deadline >= event.time
+                            )
                     else:
                         if cfg.max_pending is not None and len(pending) >= cfg.max_pending:
                             victim = shed_for(task)
@@ -475,8 +571,23 @@ class ServeEngine:
                                 pending[task.task_id] = task
                             result.n_shed += 1
                             obs.counter("serve.shed.tasks")
+                            if watch:
+                                obs.counter(labelled(
+                                    "serve.shed.tasks",
+                                    reason="queue_full"
+                                    if victim.task_id == task.task_id
+                                    else "deadline_slack",
+                                ))
+                            if dlog is not None:
+                                if victim.task_id == task.task_id:
+                                    dlog.shed_on_arrival(task, event.time)
+                                else:
+                                    dlog.admitted(task, event.time)
+                                    dlog.displaced(victim.task_id, event.time)
                         else:
                             pending[task.task_id] = task
+                            if dlog is not None:
+                                dlog.admitted(task, event.time)
                         if watch and task.task_id in pending:
                             arrival_at[task.task_id] = event.time
                         if trigger.should_fire_early(event.time, last_batch, pending):
@@ -498,11 +609,22 @@ class ServeEngine:
                         del pending[event.task_id]
                         result.n_expired += 1
                         obs.counter("serve.expired")
+                        if watch:
+                            obs.counter(labelled(
+                                "serve.task.expired",
+                                phase="assigned"
+                                if event.task_id in offered_ids
+                                else "pending",
+                            ))
+                        if dlog is not None:
+                            dlog.expired(event.task_id, event.time)
                 elif isinstance(event, TaskCancel):
                     if event.task_id in pending:
                         del pending[event.task_id]
                         result.n_expired += 1
                         obs.counter("serve.cancelled")
+                        if dlog is not None:
+                            dlog.cancelled(event.task_id, event.time)
                 elif isinstance(event, WorkerCheckIn):
                     online[event.worker.worker_id] = event.worker
                 elif isinstance(event, WorkerCheckOut):
@@ -513,7 +635,18 @@ class ServeEngine:
                     obs.gauge("serve.loop.heap_depth", len(queue))
 
             # Tasks still pending at the horizon's end count as expired.
+            if (watch or dlog is not None) and pending:
+                for task_id in pending:
+                    if watch:
+                        obs.counter(labelled(
+                            "serve.task.expired",
+                            phase="assigned" if task_id in offered_ids else "pending",
+                        ))
+                    if dlog is not None:
+                        dlog.expired(task_id, t_end, horizon=True)
             result.n_expired += len(pending)
+            if dlog is not None:
+                result.n_decisions = len(dlog.records)
             result.cache_hits = cache.stats.hits
             result.cache_misses = cache.stats.misses
             result.cache_invalidations = cache.stats.invalidations
@@ -526,9 +659,13 @@ class ServeEngine:
                     result.n_drift_events = len(monitor.calibration.drift_events)
             return result
         finally:
-            # Close monitor sinks (idempotent) and restore the recorder
-            # even when the run unwinds on an exception.
+            # Close monitor and decision-log sinks (both idempotent;
+            # closing the decision log also merges shard spools) and
+            # restore the recorder even when the run unwinds on an
+            # exception.
             if monitor is not None:
                 monitor.finish(t_end)
+            if dlog is not None:
+                dlog.close()
             if restore_to is not None:
                 obs.set_recorder(restore_to)

@@ -51,6 +51,24 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    def snapshot(self) -> tuple[int, int]:
+        """A (hits, requests) mark for :meth:`window_hit_rate`."""
+        return (self.hits, self.requests)
+
+    def window_hit_rate(self, since: tuple[int, int] | None) -> float | None:
+        """Hit rate over the lookups since a :meth:`snapshot` mark.
+
+        The per-batch signal behind decision-log records
+        (:mod:`repro.obs.decisions`): the aggregate :attr:`hit_rate`
+        smears the warm-up misses over the whole run, while a window
+        says what the *current* batch actually paid.  ``None`` when no
+        lookup happened in the window (or ``since`` is ``None``).
+        """
+        if since is None:
+            return None
+        requests = self.requests - since[1]
+        return (self.hits - since[0]) / requests if requests else None
+
 
 @dataclass
 class _Entry:
