@@ -1,6 +1,6 @@
 """Guard the benchmarked speedups against performance regressions.
 
-Six baselines are guarded, each behind its own opt-in pytest marker.
+Every committed baseline is guarded behind its own opt-in pytest marker.
 Every guard is one row of the :data:`GUARDS` table — a
 :class:`GuardSpec` naming the bench to re-measure, the quantity
 guarded, and how it fails — so registering a new bench is one entry,
@@ -44,6 +44,7 @@ which only looks under ``tests/``)::
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m dist_bench
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m scale_bench
     PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m dist_obs_bench
+    PYTHONPATH=src python -m pytest benchmarks/check_regression.py -m forecast_bench
 """
 
 from __future__ import annotations
@@ -59,6 +60,7 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent))
 
 import bench_dist  # noqa: E402
+import bench_forecast  # noqa: E402
 import bench_monitor_overhead  # noqa: E402
 import bench_nn_fastpath  # noqa: E402
 import bench_obs_overhead  # noqa: E402
@@ -298,6 +300,22 @@ GUARDS = [
             "dist/obs: enabled distributed tracing costs {pct:.2f}% "
             "on the sharded serve run (bar: {bar:.0f}%)"
         ),
+    ),
+    GuardSpec(
+        name="forecast",
+        marker="forecast_bench",
+        failure_title="forecast dispatch uplift regressed",
+        mode="ratio",
+        # Only the guard scenario is re-run; the bench itself asserts
+        # the forecast arm completes strictly more tasks than the
+        # reactive arm before any ratio is reported.
+        measure=lambda baseline: bench_forecast.run(
+            {baseline["guard_shape"]: bench_forecast.SHAPES[baseline["guard_shape"]]}
+        ),
+        baseline=bench_forecast.OUTPUT,
+        bench_script="bench_forecast.py",
+        ratio_key="completion_uplift",
+        ratio_desc="completion-uplift",
     ),
     GuardSpec(
         name="decisions",

@@ -131,8 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--batch-window", type=float, default=2.0)
         p.add_argument("--assignment-window", type=float, default=10.0)
         p.add_argument(
-            "--trigger", choices=("fixed", "adaptive"), default="fixed",
-            help="batch trigger policy (adaptive fires early under load)",
+            "--trigger", choices=("fixed", "adaptive", "forecast"), default="fixed",
+            help="batch trigger policy (adaptive fires early under load; "
+                 "forecast adds predicted-demand pressure)",
         )
         p.add_argument("--pending-threshold", type=int, default=None)
         p.add_argument("--deadline-slack", type=float, default=None)
@@ -163,6 +164,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--warm-start", action="store_true",
                        help="carry Hungarian dual potentials across batches; unchanged "
                             "components skip the solve (plans unchanged)")
+        p.add_argument("--forecast", choices=("ewma", "seasonal_naive", "seq2seq"),
+                       default=None,
+                       help="enable per-cell demand forecasting with this model "
+                            "(see docs/FORECASTING.md)")
+        p.add_argument("--prepositioning", action="store_true",
+                       help="move idle workers toward predicted demand gaps between "
+                            "batches (implies --forecast ewma unless a model is given)")
+        p.add_argument("--forecast-bin", type=float, default=2.0,
+                       help="demand time-bin width in minutes (with --forecast)")
+        p.add_argument("--forecast-grid", type=int, default=8,
+                       help="demand grid resolution per axis (with --forecast)")
+        p.add_argument("--forecast-threshold", type=float, default=None,
+                       help="predicted-pressure threshold of --trigger forecast: fire "
+                            "when pending + predicted demand reaches this")
+        p.add_argument("--forecast-gap", type=float, default=1.0,
+                       help="minimum predicted supply/demand gap worth a move "
+                            "(with --prepositioning)")
+        p.add_argument("--forecast-moves", type=int, default=4,
+                       help="pre-position move cap per batch (with --prepositioning)")
 
     serve = sub.add_parser(
         "serve-sim",
@@ -273,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_report.add_argument("series_file", help="JSONL series written by serve-sim --monitor")
     serve_report.add_argument("--phases", type=int, default=3,
                               help="number of contiguous phases to aggregate into")
+    serve_report.add_argument("--top-cells", type=int, default=5,
+                              help="rows in the worst-forecast-cells table "
+                                   "(0 hides it; needs forecast.mae{cell=...} gauges)")
     serve_report.add_argument("--json", action="store_true",
                               help="emit the aggregates as JSON")
 
@@ -580,6 +603,10 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             rows["n_decisions"] = float(result.n_decisions)
             reporter.add("decisions", args.decisions)
             reporter.line(f"[decisions: {args.decisions}]")
+        if policy.forecast.enabled:
+            rows["n_prepositioned"] = float(result.n_prepositioned)
+            if result.forecast_mae is not None:
+                rows["forecast_mae"] = result.forecast_mae
         artifacts = {
             "decisions": args.decisions,
             "series": args.monitor,
@@ -847,7 +874,10 @@ def cmd_serve_report(args: argparse.Namespace) -> int:
     else:
         print(
             render_serve_report(
-                records, title=f"serve report: {args.series_file}", n_phases=args.phases
+                records,
+                title=f"serve report: {args.series_file}",
+                n_phases=args.phases,
+                top_cells=args.top_cells,
             )
         )
     return 0

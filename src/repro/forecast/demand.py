@@ -1,0 +1,188 @@
+"""Per-grid-cell demand series: task arrivals binned in space and time.
+
+Demand is the only signal the forecasting layer sees — a
+``(n_bins, n_cells)`` count matrix of task arrivals, built by binning
+release times into fixed windows and locations into the cells of a
+:class:`repro.geo.grid.Grid`.  The extraction is deterministic and
+stream-agnostic: any generator from :mod:`repro.serve.streams` (or a
+real task list) produces the same matrix for the same inputs.
+
+Cells are flattened row-major (``flat = i * cols + j``), matching
+``numpy`` reshape order, so a series column maps back to grid cell
+``(flat // cols, flat % cols)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.grid import Grid
+from repro.sc.entities import SpatialTask
+
+
+def grid_for_tasks(
+    tasks: Sequence[SpatialTask],
+    rows: int,
+    cols: int,
+    width_km: float | None = None,
+    height_km: float | None = None,
+) -> Grid:
+    """A ``rows x cols`` grid covering the tasks' spatial extent.
+
+    With ``width_km``/``height_km`` given, the extent is taken as
+    stated (the scenario's known city extent); otherwise it is inferred
+    as the tight bounding box of the task locations, padded so boundary
+    tasks fall inside the last cell rather than on its edge.
+    """
+    if width_km is None or height_km is None:
+        if not tasks:
+            raise ValueError("cannot infer a grid extent from an empty task list")
+        max_x = max(t.location.x for t in tasks)
+        max_y = max(t.location.y for t in tasks)
+        width_km = width_km if width_km is not None else max(max_x, 1e-6) * (1 + 1e-9)
+        height_km = height_km if height_km is not None else max(max_y, 1e-6) * (1 + 1e-9)
+    return Grid(width_km=width_km, height_km=height_km, rows=rows, cols=cols)
+
+
+@dataclass(frozen=True)
+class DemandSeries:
+    """Arrival counts per (time bin, grid cell).
+
+    ``counts`` is ``(n_bins, n_cells)`` with cells flattened row-major
+    over ``grid``; bin ``b`` covers
+    ``[t_start + b * bin_minutes, t_start + (b+1) * bin_minutes)``.
+    """
+
+    grid: Grid
+    bin_minutes: float
+    t_start: float
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.bin_minutes <= 0:
+            raise ValueError("bin_minutes must be positive")
+        counts = np.asarray(self.counts, dtype=float)
+        if counts.ndim != 2 or counts.shape[1] != self.grid.n_cells:
+            raise ValueError(
+                f"counts must be (n_bins, {self.grid.n_cells}), got {counts.shape}"
+            )
+        object.__setattr__(self, "counts", counts)
+
+    @property
+    def n_bins(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.counts.shape[1])
+
+    def bin_of(self, t: float) -> int:
+        """The bin index time ``t`` falls into (may be out of range)."""
+        return int(np.floor((t - self.t_start) / self.bin_minutes))
+
+    def cell_of(self, flat: int) -> tuple[int, int]:
+        """Grid cell ``(i, j)`` of a flattened series column."""
+        return flat // self.grid.cols, flat % self.grid.cols
+
+    def totals(self) -> np.ndarray:
+        """Per-cell demand totals over the whole series."""
+        return self.counts.sum(axis=0)
+
+    def active_cells(self, top_k: int | None = None) -> np.ndarray:
+        """Indices of cells with any demand, busiest first.
+
+        Ties break on the cell index so the selection is deterministic;
+        ``top_k`` caps the list (the seq2seq forecaster's feature dim).
+        """
+        totals = self.totals()
+        order = np.lexsort((np.arange(totals.size), -totals))
+        active = order[totals[order] > 0]
+        return active[:top_k] if top_k is not None else active
+
+
+def extract_demand(
+    tasks: Iterable[SpatialTask],
+    grid: Grid,
+    bin_minutes: float,
+    t_start: float,
+    t_end: float,
+) -> DemandSeries:
+    """Bin task arrivals into a :class:`DemandSeries` over ``[t_start, t_end]``.
+
+    Arrivals outside the horizon are dropped; an arrival exactly at
+    ``t_end`` lands in the last bin (the horizon is closed on the
+    right, matching the engine's event loop).
+    """
+    if t_end <= t_start:
+        raise ValueError("horizon must have positive length")
+    if bin_minutes <= 0:
+        raise ValueError("bin_minutes must be positive")
+    n_bins = max(int(np.ceil((t_end - t_start) / bin_minutes)), 1)
+    counts = np.zeros((n_bins, grid.n_cells), dtype=float)
+    for task in tasks:
+        t = task.release_time
+        if t < t_start or t > t_end:
+            continue
+        b = min(int((t - t_start) / bin_minutes), n_bins - 1)
+        i, j = grid.to_cell(task.location)
+        counts[b, i * grid.cols + j] += 1.0
+    return DemandSeries(grid=grid, bin_minutes=bin_minutes, t_start=t_start, counts=counts)
+
+
+def train_eval_split(
+    series: DemandSeries, eval_fraction: float = 0.3
+) -> tuple[DemandSeries, DemandSeries]:
+    """Split a series into a training prefix and a held-out suffix.
+
+    The split is temporal (never shuffled): forecasters train on the
+    past and are scored on the future, as they are used online.
+    """
+    if not 0.0 < eval_fraction < 1.0:
+        raise ValueError("eval_fraction must lie in (0, 1)")
+    cut = max(int(round(series.n_bins * (1.0 - eval_fraction))), 1)
+    cut = min(cut, series.n_bins - 1)
+    head = DemandSeries(
+        grid=series.grid,
+        bin_minutes=series.bin_minutes,
+        t_start=series.t_start,
+        counts=series.counts[:cut],
+    )
+    tail = DemandSeries(
+        grid=series.grid,
+        bin_minutes=series.bin_minutes,
+        t_start=series.t_start + cut * series.bin_minutes,
+        counts=series.counts[cut:],
+    )
+    return head, tail
+
+
+def demand_windows(
+    counts: np.ndarray, seq_in: int, seq_out: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding supervised windows over a ``(n_bins, n_features)`` matrix.
+
+    Returns ``X`` of shape ``(n_windows, seq_in, n_features)`` and
+    ``Y`` of shape ``(n_windows, seq_out, n_features)`` where window
+    ``w`` predicts bins ``[w + seq_in, w + seq_in + seq_out)`` from the
+    ``seq_in`` bins before them.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 2:
+        raise ValueError("counts must be 2-D (bins x features)")
+    if seq_in < 1 or seq_out < 1:
+        raise ValueError("seq_in and seq_out must be positive")
+    n_windows = counts.shape[0] - seq_in - seq_out + 1
+    if n_windows < 1:
+        n_features = counts.shape[1]
+        return (
+            np.zeros((0, seq_in, n_features)),
+            np.zeros((0, seq_out, n_features)),
+        )
+    x = np.stack([counts[w : w + seq_in] for w in range(n_windows)])
+    y = np.stack(
+        [counts[w + seq_in : w + seq_in + seq_out] for w in range(n_windows)]
+    )
+    return x, y

@@ -29,6 +29,7 @@ from repro.obs.calibration import (
 )
 from repro.obs.dashboard import (
     aggregate_series,
+    forecast_cell_errors,
     load_serve_report,
     reason_breakdown,
     render_serve_report,
@@ -41,6 +42,7 @@ from repro.obs.decisions import (
     explain_task,
     find_decision_log,
     merge_decision_spools,
+    preposition_records,
     read_decisions,
     reconcile,
     render_explain,
@@ -108,6 +110,7 @@ __all__ = [
     "PageHinkley",
     "PairOutcome",
     "aggregate_series",
+    "forecast_cell_errors",
     "load_serve_report",
     "reason_breakdown",
     "render_serve_report",
@@ -118,6 +121,7 @@ __all__ = [
     "explain_task",
     "find_decision_log",
     "merge_decision_spools",
+    "preposition_records",
     "read_decisions",
     "reconcile",
     "render_explain",

@@ -112,6 +112,22 @@ def reason_breakdown(counters: dict) -> dict[str, dict[str, float]]:
     return table
 
 
+def forecast_cell_errors(gauges: dict) -> list[tuple[str, float]]:
+    """Per-cell demand-forecast error, worst first.
+
+    Pivot of the ``forecast.mae{cell=i-j}`` labelled gauges the serve
+    engine's forecast runtime emits (running mean absolute error per
+    grid cell); ties break on cell id so the table is deterministic.
+    Backs the dashboard's "worst forecast cells" section.
+    """
+    rows = []
+    for name, value in gauges.items():
+        base, labels = split_labels(name)
+        if base == "forecast.mae" and "cell" in labels:
+            rows.append((labels["cell"], value))
+    return sorted(rows, key=lambda r: (-r[1], r[0]))
+
+
 _PHASE_NAMES = {3: ("ramp-up", "steady", "drain")}
 
 
@@ -168,6 +184,8 @@ def aggregate_series(records: list[dict], n_phases: int = 3) -> dict:
             samples[-1].get("counters", {}), samples[-1].get("gauges", {})
         ) if samples else {},
         "reasons": reason_breakdown(samples[-1].get("counters", {})) if samples else {},
+        "forecast_cells": forecast_cell_errors(samples[-1].get("gauges", {}))
+        if samples else [],
         "slos": {
             name: {
                 "objective": (slo_specs.get(name) or {}).get("objective"),
@@ -186,7 +204,7 @@ def aggregate_series(records: list[dict], n_phases: int = 3) -> dict:
 
 
 def render_serve_report(records: list[dict], title: str = "serve report",
-                        n_phases: int = 3) -> str:
+                        n_phases: int = 3, top_cells: int = 5) -> str:
     """The human-readable per-phase dashboard."""
     lines = [title, "=" * len(title), ""]
     samples = [r for r in records if r.get("type") == "sample"]
@@ -272,6 +290,14 @@ def render_serve_report(records: list[dict], title: str = "serve report",
                 f"alert: {alert.get('slo')} at t={t:g}" if t is not None
                 else f"alert: {alert.get('slo')}"
             )
+
+    cells = (agg.get("forecast_cells") or [])[:max(0, top_cells)]
+    if cells:
+        lines += ["", f"worst forecast cells (top {len(cells)} by demand MAE)",
+                  "---------------------------------------------"]
+        lines.append(f"{'cell':<10}{'mae':>10}")
+        for cell, mae in cells:
+            lines.append(f"{cell:<10}{mae:>10.3f}")
 
     shards = agg.get("per_shard") or {}
     if shards:

@@ -92,6 +92,11 @@ REASON_DEAD_ON_ARRIVAL = "expired:dead_on_arrival"
 REASON_EXPIRED_DEADLINE = "expired:deadline"
 REASON_EXPIRED_HORIZON = "expired:horizon"
 
+#: Reason code on ``type == "preposition"`` records: a forecast-driven
+#: idle-worker move toward a predicted demand gap (not a task
+#: lifecycle record — readers that join on tasks skip them).
+REASON_PREPOSITION = "preposition:predicted_gap"
+
 #: Warm-start tiers, best to worst (see ``assignment/hungarian.py``).
 WARM_TIERS = ("identical", "warm", "cold")
 
@@ -176,6 +181,10 @@ class DecisionLog:
     ) -> None:
         self.config = config if config is not None else DecisionConfig()
         self.records: list[dict] = []
+        #: Pre-position move records (``type == "preposition"``), kept
+        #: apart from the per-task lifecycle ``records`` so terminal
+        #: reconciliation never sees them.
+        self.moves: list[dict] = []
         self._open: dict[int, dict] = {}
         self._shard_of = shard_of
         self._sink: JsonlSink | None = None
@@ -255,6 +264,27 @@ class DecisionLog:
             self._open.pop(task_id)
             self._terminal(rec, TERMINAL_COMPLETED, REASON_COMPLETED, t)
 
+    def prepositioned(self, move) -> None:
+        """A forecast-driven pre-position of an idle worker.
+
+        ``move`` is a :class:`repro.forecast.dispatch.Move`; the record
+        lands in :attr:`moves` and the sink, not in the per-task
+        lifecycle stream.
+        """
+        rec = {
+            "type": "preposition",
+            "worker": move.worker_id,
+            "t": move.depart_t,
+            "arrive_t": move.arrive_t,
+            "cell": list(move.cell),
+            "distance_km": move.distance_km,
+            "gap": move.gap,
+            "reason": REASON_PREPOSITION,
+            "shard": None,
+        }
+        self.moves.append(rec)
+        self._emit(rec)
+
     def cancelled(self, task_id: int, t: float) -> None:
         rec = self._open.pop(task_id, None)
         if rec is not None:
@@ -306,7 +336,11 @@ class DecisionLog:
             for sink in self._spools.values():
                 sink.close()
             self._spools = {}
-            merged = merge_decision_spools(self.config.resolved_spool_dir())
+            spool_dir = Path(self.config.resolved_spool_dir())
+            raw: list[dict] = []
+            for path in sorted(spool_dir.glob("decisions-*.jsonl")):
+                raw.extend(read_jsonl(path))
+            merged = decision_records(raw) + preposition_records(raw)
             write_decisions(self.config.path, merged)
 
     def terminal_counts(self) -> dict[str, int]:
@@ -341,6 +375,11 @@ def decision_records(records: Iterable[dict]) -> list[dict]:
             stacklevel=2,
         )
     return [by_task[tid] for tid in sorted(by_task)]
+
+
+def preposition_records(records: Iterable[dict]) -> list[dict]:
+    """Filter to the forecast layer's pre-position move records."""
+    return [rec for rec in records if rec.get("type") == "preposition"]
 
 
 def read_decisions(path: str | Path) -> list[dict]:

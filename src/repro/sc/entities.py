@@ -48,6 +48,13 @@ class Worker:
     current location (shared while online) and whatever the mobility
     model predicts.  ``detour_budget_km`` is ``w.d``; the worker accepts
     a task only if serving it detours them by at most this much.
+
+    ``available_from`` / ``available_until`` are the worker's declared
+    availability window (DATA-WA-style dynamic availability); ``None``
+    (the default) falls back to the routine's time span, which is what
+    the serving engine has always used — so existing populations behave
+    bit-identically.  A declared window may only narrow the routine
+    span, never extend past it (the routine is where the worker *is*).
     """
 
     worker_id: int
@@ -55,12 +62,32 @@ class Worker:
     detour_budget_km: float
     speed_km_per_min: float
     history: list[Trajectory] = field(default_factory=list)
+    available_from: float | None = None
+    available_until: float | None = None
 
     def __post_init__(self) -> None:
         if self.detour_budget_km < 0:
             raise ValueError("detour budget must be non-negative")
         if self.speed_km_per_min <= 0:
             raise ValueError("speed must be positive")
+        if (
+            self.available_from is not None
+            and self.available_until is not None
+            and self.available_until <= self.available_from
+        ):
+            raise ValueError("availability window must have positive length")
+
+    def availability_start(self) -> float:
+        """When the worker comes online (declared window, else routine)."""
+        if self.available_from is None:
+            return self.routine.start_time
+        return max(self.available_from, self.routine.start_time)
+
+    def availability_end(self) -> float:
+        """When the worker checks out (declared window, else routine)."""
+        if self.available_until is None:
+            return self.routine.end_time
+        return min(self.available_until, self.routine.end_time)
 
     def location_at(self, t: float) -> Point:
         """Ground-truth position at time ``t`` (worker-side knowledge;
@@ -78,8 +105,9 @@ class Worker:
         return self.routine[idx].location
 
     def online_at(self, t: float) -> bool:
-        """Workers are online during their routine's time span."""
-        return self.routine.start_time <= t <= self.routine.end_time
+        """Workers are online during their availability window (the
+        routine's time span unless a narrower window is declared)."""
+        return self.availability_start() <= t <= self.availability_end()
 
 
 @dataclass(slots=True)

@@ -22,6 +22,7 @@ from repro.scenarios.registry import ScenarioData, materialize
 from repro.scenarios.specs import (
     CacheSpec,
     DistSpec,
+    ForecastSpec,
     IndexSpec,
     PolicySpec,
     ScenarioSpec,
@@ -29,6 +30,30 @@ from repro.scenarios.specs import (
     TriggerSpec,
 )
 from repro.serve import ServeConfig, ServeEngine
+
+
+def build_forecast_config(policy: PolicySpec):
+    """The :class:`repro.forecast.dispatch.ForecastConfig` of a policy,
+    or ``None`` when its forecast block is disabled."""
+    spec = policy.forecast
+    if not spec.enabled:
+        return None
+    from repro.forecast.dispatch import ForecastConfig
+
+    return ForecastConfig(
+        model=spec.model,
+        bin_minutes=spec.bin_minutes,
+        history_bins=spec.history_bins,
+        horizon_bins=spec.horizon_bins,
+        grid_rows=spec.grid_rows,
+        grid_cols=spec.grid_cols,
+        demand_threshold=spec.demand_threshold,
+        prepositioning=spec.prepositioning,
+        gap_threshold=spec.gap_threshold,
+        max_moves=spec.max_moves,
+        detour_fraction=spec.detour_fraction,
+        cooldown_minutes=spec.cooldown_minutes,
+    )
 
 
 def assign_fns(algorithm: str) -> tuple[Callable, Callable]:
@@ -62,6 +87,7 @@ def build_serve_config(policy: PolicySpec, monitor=None, decisions=None) -> Serv
         max_candidates=policy.index.max_candidates,
         monitor=monitor,
         decisions=decisions,
+        forecast=build_forecast_config(policy),
     )
 
 
@@ -189,4 +215,30 @@ def policy_from_args(args) -> PolicySpec:
             workers=args.dist_workers,
             warm_start=args.warm_start,
         ),
+        forecast=forecast_from_args(args),
+    )
+
+
+def forecast_from_args(args) -> ForecastSpec:
+    """The ``ForecastSpec`` of the serve-sim forecast flags.
+
+    The layer turns on when any of ``--forecast``, ``--prepositioning``,
+    or ``--trigger forecast`` is given; a model named nowhere defaults
+    to ``ewma``.
+    """
+    model = getattr(args, "forecast", None)
+    prepositioning = bool(getattr(args, "prepositioning", False))
+    enabled = model is not None or prepositioning or args.trigger == "forecast"
+    if not enabled:
+        return ForecastSpec()
+    return ForecastSpec(
+        enabled=True,
+        model=model if model is not None else "ewma",
+        bin_minutes=getattr(args, "forecast_bin", 2.0),
+        grid_rows=getattr(args, "forecast_grid", 8),
+        grid_cols=getattr(args, "forecast_grid", 8),
+        demand_threshold=getattr(args, "forecast_threshold", None),
+        prepositioning=prepositioning,
+        gap_threshold=getattr(args, "forecast_gap", 1.0),
+        max_moves=getattr(args, "forecast_moves", 4),
     )

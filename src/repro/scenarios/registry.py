@@ -208,6 +208,36 @@ BUILTIN_POLICIES: dict[str, PolicySpec] = {
             "index": {"enabled": True, "cell_km": 2.0},
         }
     ),
+    # Reactive baseline the forecast bench compares against: identical
+    # to adaptive-indexed, named separately so the pairing is explicit.
+    "reactive-adaptive": PolicySpec.from_dict(
+        {
+            "trigger": {"kind": "adaptive", "pending_threshold": 50},
+            "cache": {"ttl": 6.0},
+            "index": {"enabled": True, "cell_km": 2.0},
+        }
+    ),
+    # Same reactive stack plus demand forecasting and proactive
+    # pre-positioning (see docs/FORECASTING.md and bench_forecast.py).
+    "forecast-prepositioned": PolicySpec.from_dict(
+        {
+            "trigger": {"kind": "adaptive", "pending_threshold": 50},
+            "cache": {"ttl": 6.0},
+            "index": {"enabled": True, "cell_km": 2.0},
+            "forecast": {
+                "enabled": True,
+                "model": "ewma",
+                "bin_minutes": 2.0,
+                "grid_rows": 6,
+                "grid_cols": 6,
+                "prepositioning": True,
+                "gap_threshold": 2.0,
+                "max_moves": 4,
+                "detour_fraction": 0.5,
+                "cooldown_minutes": 4.0,
+            },
+        }
+    ),
     "sharded-2": PolicySpec.from_dict(
         {"index": {"enabled": True, "cell_km": 2.0}, "dist": {"shards": 2}}
     ),

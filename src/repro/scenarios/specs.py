@@ -44,8 +44,8 @@ class TriggerSpec:
     min_interval: float = 0.25
 
     def __post_init__(self) -> None:
-        if self.kind not in ("fixed", "adaptive"):
-            raise ValueError("trigger kind must be 'fixed' or 'adaptive'")
+        if self.kind not in ("fixed", "adaptive", "forecast"):
+            raise ValueError("trigger kind must be 'fixed', 'adaptive', or 'forecast'")
 
 
 @dataclass(frozen=True)
@@ -88,12 +88,45 @@ class DistSpec:
             raise ValueError("shards and workers must be at least 1")
 
 
+@dataclass(frozen=True)
+class ForecastSpec:
+    """Demand forecasting + proactive dispatch (see :mod:`repro.forecast`).
+
+    ``enabled`` gates the whole layer: a disabled block compiles to
+    ``ServeConfig.forecast = None`` and the engine stays bit-identical
+    to the seed.  The remaining knobs mirror
+    :class:`repro.forecast.dispatch.ForecastConfig` (which performs the
+    deep validation at compile time).
+    """
+
+    enabled: bool = False
+    model: str = "ewma"
+    bin_minutes: float = 2.0
+    history_bins: int = 6
+    horizon_bins: int = 1
+    grid_rows: int = 8
+    grid_cols: int = 8
+    demand_threshold: float | None = None
+    prepositioning: bool = False
+    gap_threshold: float = 1.0
+    max_moves: int = 4
+    detour_fraction: float = 0.5
+    cooldown_minutes: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.model not in ("ewma", "seasonal_naive", "seq2seq"):
+            raise ValueError(
+                "forecast model must be 'ewma', 'seasonal_naive', or 'seq2seq'"
+            )
+
+
 _POLICY_BLOCKS = {
     "trigger": TriggerSpec,
     "shedding": SheddingSpec,
     "cache": CacheSpec,
     "index": IndexSpec,
     "dist": DistSpec,
+    "forecast": ForecastSpec,
 }
 
 
@@ -108,10 +141,16 @@ class PolicySpec:
     cache: CacheSpec = field(default_factory=CacheSpec)
     index: IndexSpec = field(default_factory=IndexSpec)
     dist: DistSpec = field(default_factory=DistSpec)
+    forecast: ForecastSpec = field(default_factory=ForecastSpec)
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("ppi", "km"):
             raise ValueError("algorithm must be 'ppi' or 'km'")
+        if self.trigger.kind == "forecast" and not self.forecast.enabled:
+            raise ValueError(
+                "trigger kind 'forecast' requires the forecast block "
+                "to be enabled"
+            )
 
     @classmethod
     def from_dict(cls, data: Mapping, owner: str = "policy") -> "PolicySpec":

@@ -32,7 +32,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # import cycle: forecast.dispatch imports serve.triggers
+    from repro.forecast.dispatch import ForecastConfig
 
 from repro import obs
 from repro.assignment.matching_rate import pair_completion_probability
@@ -86,7 +89,9 @@ class ServeConfig:
         Requester cancellation window after release (``None`` disables),
         as in :class:`repro.sc.platform.BatchPlatform`.
     trigger:
-        ``"fixed"`` or ``"adaptive"`` (demand-adaptive early firing).
+        ``"fixed"``, ``"adaptive"`` (demand-adaptive early firing), or
+        ``"forecast"`` (adaptive plus predicted-demand pressure;
+        requires ``forecast``).
     pending_threshold / deadline_slack / min_trigger_interval:
         Adaptive-trigger knobs; see
         :class:`repro.serve.triggers.DemandAdaptiveTrigger`.
@@ -116,6 +121,12 @@ class ServeConfig:
         JSONL decision log.  ``None`` (the default) keeps the run
         log-free with exact ``result_signature`` parity; the per-event
         cost of the off path is one ``is None`` test.
+    forecast:
+        Demand-forecasting knobs (:class:`repro.forecast.dispatch.ForecastConfig`):
+        per-cell arrival forecasting, the ``"forecast"`` trigger's
+        predicted-pressure term, and idle-worker pre-positioning
+        between batches.  ``None`` (the default) keeps the run
+        forecast-free with exact ``result_signature`` parity.
     """
 
     batch_window: float = 2.0
@@ -132,14 +143,17 @@ class ServeConfig:
     max_candidates: int | None = None
     monitor: MonitorConfig | None = None
     decisions: DecisionConfig | None = None
+    forecast: "ForecastConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.batch_window <= 0:
             raise ValueError("batch window must be positive")
         if self.assignment_window is not None and self.assignment_window <= 0:
             raise ValueError("assignment window must be positive (or None)")
-        if self.trigger not in ("fixed", "adaptive"):
-            raise ValueError("trigger must be 'fixed' or 'adaptive'")
+        if self.trigger not in ("fixed", "adaptive", "forecast"):
+            raise ValueError("trigger must be 'fixed', 'adaptive', or 'forecast'")
+        if self.trigger == "forecast" and self.forecast is None:
+            raise ValueError("the 'forecast' trigger requires a forecast config")
         if self.max_pending is not None and self.max_pending < 1:
             raise ValueError("max_pending must be at least 1 (or None)")
         if self.cache_ttl < 0:
@@ -149,9 +163,21 @@ class ServeConfig:
         if self.max_candidates is not None and self.max_candidates < 1:
             raise ValueError("max_candidates must be at least 1 (or None)")
 
-    def make_trigger(self) -> FixedWindowTrigger:
+    def make_trigger(self, forecast_runtime=None) -> FixedWindowTrigger:
         if self.trigger == "fixed":
             return FixedWindowTrigger(window=self.batch_window)
+        if self.trigger == "forecast":
+            # Deferred import: forecast.dispatch imports serve.triggers.
+            from repro.forecast.dispatch import ForecastTrigger
+
+            return ForecastTrigger(
+                window=self.batch_window,
+                pending_threshold=self.pending_threshold,
+                deadline_slack=self.deadline_slack,
+                min_interval=self.min_trigger_interval,
+                demand_threshold=self.forecast.demand_threshold,
+                runtime=forecast_runtime,
+            )
         return DemandAdaptiveTrigger(
             window=self.batch_window,
             pending_threshold=self.pending_threshold,
@@ -181,6 +207,13 @@ class ServeResult(SimulationResult):
     #: Decision-log accounting (zero when ``config.decisions`` is
     #: unset); outside ``result_signature`` for the same reason.
     n_decisions: int = 0
+    #: Forecasting accounting (zero / None when ``config.forecast`` is
+    #: unset).  Pre-positioning *does* change assignment outcomes (the
+    #: whole point), so these fields only describe the forecast layer —
+    #: the outcome changes show up in the ordinary signature fields.
+    n_prepositioned: int = 0
+    forecast_mae: float | None = None
+    forecast_cell_mae: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -325,7 +358,15 @@ class ServeEngine:
             raise ValueError("task ids must be unique")
 
         cfg = self.config
-        trigger = cfg.make_trigger()
+        # Forecasting is opt-in like monitoring: with cfg.forecast unset
+        # the runtime stays None and every hook below costs one
+        # `is None` test, keeping result_signature bit-identical.
+        fruntime = None
+        if cfg.forecast is not None:
+            from repro.forecast.dispatch import ForecastRuntime
+
+            fruntime = ForecastRuntime(cfg.forecast, t_start, t_end, tasks=tasks)
+        trigger = cfg.make_trigger(forecast_runtime=fruntime)
         cache = PredictionCache(
             provider=self.snapshot_provider,
             ttl=cfg.cache_ttl,
@@ -380,10 +421,11 @@ class ServeEngine:
                 cancel_at = task.release_time + cfg.assignment_window
                 if cancel_at >= arrival:
                     queue.push(TaskCancel(time=cancel_at, task_id=task.task_id))
-        # Worker availability windows.
+        # Worker availability windows (the routine span unless the
+        # worker declared a narrower ``available_from``/``available_until``).
         for worker in self.workers:
-            start = worker.routine.start_time
-            end = worker.routine.end_time
+            start = worker.availability_start()
+            end = worker.availability_end()
             if end < t_start or start > horizon_end:
                 continue
             queue.push(WorkerCheckIn(time=max(start, t_start), worker=worker))
@@ -537,16 +579,51 @@ class ServeEngine:
                     result.n_early_batches += 1
                     obs.counter("serve.batches.early")
 
+        def preposition(t: float) -> None:
+            """Move idle workers toward predicted demand gaps.
+
+            Runs after each batch: workers left idle (not busy at
+            ``t``) are offered to the forecast runtime's gap planner;
+            accepted moves splice the relocation into the worker's
+            routine, so later snapshots, acceptance decisions, and
+            check-outs all see the repositioned worker.
+            """
+            from repro.forecast.dispatch import relocated_worker
+
+            idle = [
+                worker_by_id[w_id]
+                for w_id in sorted(online, key=self._worker_pos.__getitem__)
+                if busy_until.get(w_id, -1.0) <= t
+            ]
+            moves = fruntime.plan_moves(t, idle, pending)
+            for move in moves:
+                moved = relocated_worker(worker_by_id[move.worker_id], move)
+                worker_by_id[move.worker_id] = moved
+                if move.worker_id in online:
+                    online[move.worker_id] = moved
+                cache.invalidate(move.worker_id)
+                if dlog is not None:
+                    dlog.prepositioned(move)
+            if moves:
+                result.n_prepositioned += len(moves)
+                obs.counter("forecast.prepositioned", len(moves))
+
         event_started = 0.0
         try:
             while queue and queue.peek_time() <= horizon_end:
                 event = queue.pop()
                 if monitor is not None:
                     monitor.advance(event.time)
+                if fruntime is not None:
+                    fruntime.advance(event.time)
                 if watch:
                     event_started = time.perf_counter()
                 if isinstance(event, TaskArrival):
                     task = event.task
+                    if fruntime is not None:
+                        # Every arrival is demand, even one that dies on
+                        # arrival below — the forecaster models load.
+                        fruntime.observe_arrival(task, event.time)
                     # Dead on arrival: a task released before the horizon
                     # whose deadline or cancellation window already passed.
                     # BatchPlatform releases and expires these in the same
@@ -597,6 +674,8 @@ class ServeEngine:
                     if event.generation == tick_generation:
                         early = event.time - last_batch < cfg.batch_window - 1e-9
                         run_batch(event.time, early=early)
+                        if fruntime is not None and cfg.forecast.prepositioning:
+                            preposition(event.time)
                         tick_generation += 1
                         queue.push(
                             BatchTick(
@@ -650,6 +729,10 @@ class ServeEngine:
             result.cache_hits = cache.stats.hits
             result.cache_misses = cache.stats.misses
             result.cache_invalidations = cache.stats.invalidations
+            if fruntime is not None:
+                fruntime.finish()
+                result.forecast_mae = fruntime.mae()
+                result.forecast_cell_mae = fruntime.cell_mae() or None
             if monitor is not None:
                 monitor.advance(t_end)
                 monitor.finish(t_end)

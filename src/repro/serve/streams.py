@@ -155,6 +155,12 @@ class HotCellBurstConfig(StreamConfig):
             raise ValueError("hot_fraction must lie in [0, 1]")
         if self.burst_minutes <= 0 or self.hot_cell_km <= 0:
             raise ValueError("burst length and hot-cell size must be positive")
+        if not self.t_start <= self.burst_start < self.t_end:
+            raise ValueError(
+                f"burst_start {self.burst_start:g} lies outside the horizon "
+                f"[{self.t_start:g}, {self.t_end:g}) — no task could arrive "
+                "in the burst"
+            )
 
 
 def make_hot_cell_task_stream(cfg: HotCellBurstConfig) -> list[SpatialTask]:
@@ -212,6 +218,13 @@ class RushHourConfig(StreamConfig):
             raise ValueError("peak_sigma must be positive")
         if not 0.0 <= self.peak_weight <= 1.0:
             raise ValueError("peak_weight must lie in [0, 1]")
+        for peak in self.peak_times:
+            if not self.t_start <= peak <= self.t_end:
+                raise ValueError(
+                    f"peak_times entry {peak:g} lies outside the horizon "
+                    f"[{self.t_start:g}, {self.t_end:g}] — its wave would "
+                    "clip onto the boundary"
+                )
 
 
 def make_rush_hour_task_stream(cfg: RushHourConfig) -> list[SpatialTask]:

@@ -1,0 +1,74 @@
+"""Boundary tests for the batch trigger policies.
+
+The adaptive trigger's firing conditions are all inclusive/exclusive
+edges: pending count *exactly at* the threshold, a deadline *exactly*
+``deadline_slack`` away, and ``None`` thresholds disabling a term
+outright.  These pin each edge so a refactor can't silently flip one.
+"""
+
+import pytest
+
+from repro.geo.point import Point
+from repro.sc.entities import SpatialTask
+from repro.serve.triggers import DemandAdaptiveTrigger, FixedWindowTrigger
+
+
+def pending_of(n, deadline=100.0):
+    return {
+        i: SpatialTask(task_id=i, location=Point(0.0, 0.0),
+                       release_time=0.0, deadline=deadline)
+        for i in range(n)
+    }
+
+
+class TestFixedWindowTrigger:
+    def test_never_fires_early(self):
+        trigger = FixedWindowTrigger(window=2.0)
+        assert trigger.next_tick(10.0) == 12.0
+        assert not trigger.should_fire_early(11.9, 10.0, pending_of(1000, deadline=11.9))
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError, match="window"):
+            FixedWindowTrigger(window=0.0)
+
+
+class TestDemandAdaptiveBoundaries:
+    def test_pending_exactly_at_threshold_fires(self):
+        trigger = DemandAdaptiveTrigger(pending_threshold=5)
+        assert trigger.should_fire_early(10.0, 0.0, pending_of(5))
+        assert not trigger.should_fire_early(10.0, 0.0, pending_of(4))
+
+    def test_deadline_exactly_at_slack_fires(self):
+        trigger = DemandAdaptiveTrigger(deadline_slack=2.0)
+        # deadline - now == slack exactly: inclusive edge.
+        assert trigger.should_fire_early(10.0, 0.0, pending_of(1, deadline=12.0))
+        assert not trigger.should_fire_early(10.0, 0.0, pending_of(1, deadline=12.0 + 1e-9))
+
+    def test_deadline_exactly_at_next_tick(self):
+        # A deadline landing exactly on the next scheduled tick is
+        # within any positive slack of some earlier arrival: with the
+        # window as slack, the batch is pulled forward rather than
+        # letting the scheduled tick race the expiry.
+        trigger = DemandAdaptiveTrigger(window=2.0, deadline_slack=2.0)
+        last_batch = 10.0
+        next_tick = trigger.next_tick(last_batch)
+        now = 11.0
+        assert trigger.should_fire_early(now, last_batch, pending_of(1, deadline=next_tick))
+
+    def test_none_thresholds_disable_both_terms(self):
+        trigger = DemandAdaptiveTrigger(pending_threshold=None, deadline_slack=None)
+        assert not trigger.should_fire_early(10.0, 0.0, pending_of(10_000, deadline=10.0))
+
+    def test_min_interval_is_a_hard_floor(self):
+        trigger = DemandAdaptiveTrigger(pending_threshold=1, min_interval=0.25)
+        assert not trigger.should_fire_early(10.2, 10.0, pending_of(50))
+        assert trigger.should_fire_early(10.25, 10.0, pending_of(50))
+
+    def test_validation_edges(self):
+        with pytest.raises(ValueError, match="threshold"):
+            DemandAdaptiveTrigger(pending_threshold=0)
+        with pytest.raises(ValueError, match="slack"):
+            DemandAdaptiveTrigger(deadline_slack=-0.1)
+        with pytest.raises(ValueError, match="interval"):
+            DemandAdaptiveTrigger(min_interval=0.0)
+        DemandAdaptiveTrigger(deadline_slack=0.0)  # zero slack is legal
